@@ -1,0 +1,131 @@
+//! Session arrival process.
+//!
+//! Connections arrive as a Poisson process whose total rate is flat over
+//! the day (§4.1 observes that the number of connected peers per 5-minute
+//! interval is stable) while the *regional mix* follows the diurnal model.
+//! Arrivals are generated hour by hour: a Poisson count, then uniform
+//! placement within the hour.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simnet::SimDuration;
+
+/// Poisson arrival schedule generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalProcess {
+    /// Mean connections per simulated day.
+    pub sessions_per_day: f64,
+}
+
+impl ArrivalProcess {
+    /// Create with a daily session budget.
+    pub fn new(sessions_per_day: f64) -> ArrivalProcess {
+        assert!(
+            sessions_per_day.is_finite() && sessions_per_day >= 0.0,
+            "sessions_per_day must be non-negative"
+        );
+        ArrivalProcess { sessions_per_day }
+    }
+
+    /// Mean arrivals per hour.
+    pub fn hourly_rate(&self) -> f64 {
+        self.sessions_per_day / 24.0
+    }
+
+    /// Draw the arrival offsets (within the hour, ascending) for one hour.
+    pub fn arrivals_in_hour(&self, rng: &mut StdRng) -> Vec<SimDuration> {
+        let n = poisson(rng, self.hourly_rate());
+        let mut offs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..3_600_000u64)).collect();
+        offs.sort_unstable();
+        offs.into_iter().map(SimDuration::from_millis).collect()
+    }
+}
+
+/// Poisson sample: Knuth's method for small λ, normal approximation above.
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numeric guard; unreachable for λ < 30
+            }
+        }
+    }
+    // Normal approximation with continuity correction.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let x = lambda + lambda.sqrt() * z + 0.5;
+    if x < 0.0 {
+        0
+    } else {
+        x as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_small_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 3.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 200.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_within_hour() {
+        let a = ArrivalProcess::new(2_400.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let offs = a.arrivals_in_hour(&mut rng);
+        // 100/hour on average.
+        assert!(offs.len() > 50 && offs.len() < 160, "{}", offs.len());
+        for w in offs.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for o in &offs {
+            assert!(o.as_millis() < 3_600_000);
+        }
+    }
+
+    #[test]
+    fn hourly_rate() {
+        assert!((ArrivalProcess::new(24_000.0).hourly_rate() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_rate() {
+        let _ = ArrivalProcess::new(-1.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Population driver: runs whole multi-day measurement campaigns.
+//!
+//! [`run_population`] wires everything together: a [`MeasurementPeer`]
+//! collecting into a shared [`Trace`], a Poisson arrival process whose
+//! regional mix follows the diurnal model, and one [`ClientPeer`] per
+//! arriving session. The result is the synthetic equivalent of the
+//! paper's 40-day trace, at a configurable scale.
+
+use crate::arrivals::ArrivalProcess;
+use crate::peer::{ClientPeer, PeerEnv, RelayRates};
+use crate::session::SessionPlanner;
+use crate::vocabulary::{Vocabulary, VocabularyConfig};
+use geoip::{AddressAllocator, GeoDb};
+use gnutella::net::NetMsg;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
+use stats::rng::SeedSequence;
+use std::sync::Arc;
+use trace::{CollectorConfig, MeasurementPeer, Trace};
+
+/// Configuration of a population run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Root seed; everything derives from it.
+    pub seed: u64,
+    /// Simulated days.
+    pub days: f64,
+    /// Mean connections per day (the paper's full scale is ≈109 000/day;
+    /// the default is scaled down for tractable experiment turnaround).
+    pub sessions_per_day: f64,
+    /// Vocabulary configuration.
+    pub vocab: VocabularyConfig,
+    /// Relay-traffic rates for ultrapeer neighbors.
+    pub relay: RelayRates,
+    /// Measurement-peer fan-out cap.
+    pub forward_fanout: usize,
+    /// Maximum simultaneous connections at the measurement peer.
+    pub max_connections: usize,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            seed: 42,
+            days: 2.0,
+            sessions_per_day: 6_000.0,
+            vocab: VocabularyConfig::default(),
+            relay: RelayRates::default(),
+            forward_fanout: 4,
+            max_connections: 200,
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// A small configuration for fast tests (a few hours, low rate).
+    pub fn smoke() -> Self {
+        PopulationConfig {
+            seed: 7,
+            days: 0.25,
+            sessions_per_day: 2_000.0,
+            vocab: VocabularyConfig {
+                daily_sizes: [400, 380, 60, 20, 3, 3, 2],
+                n_days: 2,
+                ..VocabularyConfig::default()
+            },
+            ..PopulationConfig::default()
+        }
+    }
+}
+
+const TAG_HOUR: u64 = 1;
+const TAG_ARRIVAL: u64 = 2;
+
+/// The driver actor: schedules arrivals hour by hour and spawns peers.
+struct PopulationDriver {
+    server: NodeId,
+    planner: SessionPlanner,
+    arrivals: ArrivalProcess,
+    env: PeerEnv,
+    seq: SeedSequence,
+    end: SimTime,
+    spawned: u64,
+    rng: rand::rngs::StdRng,
+}
+
+impl PopulationDriver {
+    fn schedule_hour(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let offs = self.arrivals.arrivals_in_hour(&mut self.rng);
+        for off in offs {
+            if ctx.now() + off < self.end {
+                ctx.set_timer(off, TAG_ARRIVAL);
+            }
+        }
+        if ctx.now() + SimDuration::from_hours(1) < self.end {
+            ctx.set_timer(SimDuration::from_hours(1), TAG_HOUR);
+        }
+    }
+
+    fn spawn_peer(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let now = ctx.now();
+        let hour = now.hour_of_day();
+        let day = now.day() as usize;
+        let mut rng = self.seq.rng_indexed("peer", self.spawned);
+        self.spawned += 1;
+        let region = self.planner.diurnal.sample_region(hour, &mut rng);
+        let plan = self.planner.plan(day, hour, region, &mut rng);
+        let addr = self.env.alloc.sample(region, &mut rng);
+        let (ka_lo, ka_hi) = self.planner.params.keepalive_secs;
+        let keepalive = SimDuration::from_secs_f64(rng.gen_range(ka_lo..ka_hi));
+        let peer = ClientPeer::new(self.server, addr, plan, self.env.clone(), rng, keepalive);
+        ctx.spawn(Box::new(peer));
+    }
+}
+
+impl Actor for PopulationDriver {
+    type Msg = NetMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.schedule_hour(ctx);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, NetMsg>, _from: NodeId, _msg: NetMsg) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, tag: u64) {
+        match tag {
+            TAG_HOUR => self.schedule_hour(ctx),
+            TAG_ARRIVAL => self.spawn_peer(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// Run a full population campaign and return the measurement trace.
+pub fn run_population(cfg: &PopulationConfig) -> Trace {
+    let seq = SeedSequence::new(cfg.seed);
+    let vocab = Arc::new(Vocabulary::build(
+        seq.derive_seed("vocab"),
+        VocabularyConfig {
+            n_days: (cfg.days.ceil() as usize).max(cfg.vocab.n_days.min(40)).max(1),
+            ..cfg.vocab.clone()
+        },
+    ));
+    let planner = SessionPlanner::paper_default(vocab.clone());
+    let db = GeoDb::synthetic();
+    let alloc = Arc::new(AddressAllocator::new(&db));
+    let env = PeerEnv {
+        vocab,
+        diurnal: planner.diurnal,
+        alloc,
+        files: planner.files,
+        relay: cfg.relay,
+        latency: LatencyModel::intra_continent(),
+    };
+
+    let trace = Arc::new(parking_lot::Mutex::new(Trace::new()));
+    let mut sim: Simulator<NetMsg> = Simulator::new(seq.derive_seed("engine"));
+    let collector_cfg = CollectorConfig {
+        max_connections: cfg.max_connections,
+        forward_fanout: cfg.forward_fanout,
+        seed: seq.derive_seed("collector"),
+        ..CollectorConfig::default()
+    };
+    let server = sim.add_node(Box::new(MeasurementPeer::new(collector_cfg, trace.clone())));
+
+    let end = SimTime::from_secs_f64(cfg.days * 86_400.0);
+    let driver = PopulationDriver {
+        server,
+        planner,
+        arrivals: ArrivalProcess::new(cfg.sessions_per_day),
+        env,
+        seq: seq.child("population"),
+        end,
+        spawned: 0,
+        rng: seq.rng("arrivals"),
+    };
+    sim.add_node(Box::new(driver));
+
+    // Run to the end plus a grace period so in-flight sessions (and the
+    // probe-close chains of vanished peers) settle.
+    sim.run_until(end + SimDuration::from_hours(2));
+
+    Arc::try_unwrap(trace)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::Sessions;
+
+    #[test]
+    fn smoke_run_produces_plausible_trace() {
+        let cfg = PopulationConfig::smoke();
+        let trace = run_population(&cfg);
+        let stats = trace.stats();
+
+        // Expected ≈ 0.25 day × 2000/day = 500 connections.
+        assert!(
+            (300..800).contains(&(stats.direct_connections as usize)),
+            "connections {}",
+            stats.direct_connections
+        );
+        // Both node types represented (Table 1: ≈40 % ultrapeers).
+        let uf = stats.ultrapeer_fraction();
+        assert!((0.3..0.5).contains(&uf), "ultrapeer fraction {uf}");
+        // Message mix: pings (keepalive) and pongs present; queries exceed
+        // hop-1 queries (relayed traffic).
+        assert!(stats.ping_messages > 0);
+        assert!(stats.pong_messages > 0);
+        // A small fraction of graceful closes send spec-compliant BYE.
+        let byes = trace
+            .messages
+            .iter()
+            .filter(|m| matches!(m.payload, trace::RecordedPayload::Bye))
+            .count();
+        assert!(byes > 0, "no BYE messages observed");
+        assert!(stats.hop1_queries > 0);
+        assert!(stats.query_messages > stats.hop1_queries);
+        assert!(stats.queryhit_messages > 0);
+
+        // Sessions reconstruct; most have ended within the grace period.
+        let sessions = Sessions::from_trace(&trace);
+        let ended = sessions.iter().filter(|s| s.end.is_some()).count();
+        assert!(
+            ended as f64 / sessions.len() as f64 > 0.95,
+            "{} of {} ended",
+            ended,
+            sessions.len()
+        );
+        // ≈70 % of sessions are sub-64 s quick disconnects.
+        let quick = sessions
+            .iter()
+            .filter(|s| {
+                s.duration()
+                    .map(|d| d.as_secs_f64() < 64.0)
+                    .unwrap_or(false)
+            })
+            .count() as f64;
+        let frac = quick / ended as f64;
+        assert!((0.6..0.8).contains(&frac), "quick fraction {frac}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let cfg = PopulationConfig {
+            days: 0.05,
+            sessions_per_day: 1_500.0,
+            ..PopulationConfig::smoke()
+        };
+        let a = run_population(&cfg);
+        let b = run_population(&cfg);
+        assert_eq!(a, b, "same seed must produce identical traces");
+        let mut cfg2 = cfg;
+        cfg2.seed += 1;
+        let c = run_population(&cfg2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn probe_closures_overestimate_durations() {
+        let trace = run_population(&PopulationConfig::smoke());
+        // Vanished peers are probe-closed; the paper says most clients stop
+        // silently, so a large share of sessions must be probe-closed.
+        let probed = trace.connections.iter().filter(|c| c.closed_by_probe).count();
+        let frac = probed as f64 / trace.connections.len() as f64;
+        assert!(frac > 0.5, "probe-closed fraction {frac}");
+    }
+}

@@ -1,0 +1,377 @@
+//! The simulated client peer.
+//!
+//! A [`ClientPeer`] executes one [`SessionPlan`] against the measurement
+//! peer: handshake, planned queries (user + automation), keepalive PINGs,
+//! and — for ultrapeer-mode peers — *relayed* traffic from their notional
+//! subtrees: QUERYs with hops ≥ 2, PONGs and QUERYHITs advertising remote
+//! peers' addresses and shared libraries. The relayed traffic is what
+//! gives the trace its "all peers" population (Figures 1–2) and the
+//! Table 1 message-volume ratios; it is generated rather than routed
+//! through a million-node overlay because nothing the paper measures
+//! depends on the topology behind the one-hop neighbors (see DESIGN.md).
+//!
+//! Session end follows §3.2 reality: most peers *vanish* (no teardown;
+//! the measurement peer's probe closes the connection ≈30 s later), the
+//! rest close the TCP connection visibly.
+
+use crate::files::SharedFilesModel;
+use crate::session::SessionPlan;
+use crate::vocabulary::Vocabulary;
+use geoip::{AddressAllocator, DiurnalModel};
+use gnutella::message::{Message, Payload, Pong, Query, QueryHit, QueryHitResult};
+use gnutella::net::NetMsg;
+use gnutella::wire::{decode_message, encode_message};
+use gnutella::{Guid, Handshake, HandshakeResponse};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Mean intervals for relayed background traffic emitted by ultrapeer
+/// neighbors (exponential interarrivals).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelayRates {
+    /// Mean seconds between relayed QUERYs per ultrapeer neighbor.
+    pub query_mean_secs: f64,
+    /// Mean seconds between relayed PONGs.
+    pub pong_mean_secs: f64,
+    /// Mean seconds between relayed QUERYHITs.
+    pub hit_mean_secs: f64,
+}
+
+impl Default for RelayRates {
+    fn default() -> Self {
+        // Calibrated against Table 1 volume ratios (≈20× more total
+        // queries than hop-1 queries; PONG ≈ half of QUERY volume).
+        RelayRates {
+            query_mean_secs: 8.0,
+            pong_mean_secs: 15.0,
+            hit_mean_secs: 150.0,
+        }
+    }
+}
+
+// Timer tags.
+const TAG_END: u64 = 1 << 40;
+const TAG_KEEPALIVE: u64 = 1 << 41;
+const TAG_RELAY_QUERY: u64 = 1 << 42;
+const TAG_RELAY_PONG: u64 = 1 << 43;
+const TAG_RELAY_HIT: u64 = 1 << 44;
+
+/// Shared environment handed to every client peer.
+#[derive(Clone)]
+pub struct PeerEnv {
+    /// Query vocabulary (for relayed query text).
+    pub vocab: Arc<Vocabulary>,
+    /// Diurnal model (for relayed traffic's remote-region mix).
+    pub diurnal: DiurnalModel,
+    /// Address allocator (for relayed remote addresses).
+    pub alloc: Arc<AddressAllocator>,
+    /// Shared-files model (for relayed PONG advertisements).
+    pub files: SharedFilesModel,
+    /// Relay traffic rates.
+    pub relay: RelayRates,
+    /// Link latency toward the measurement peer.
+    pub latency: LatencyModel,
+}
+
+/// One simulated client peer session.
+pub struct ClientPeer {
+    server: NodeId,
+    addr: Ipv4Addr,
+    plan: SessionPlan,
+    env: PeerEnv,
+    rng: StdRng,
+    keepalive: SimDuration,
+    connected: bool,
+}
+
+impl ClientPeer {
+    /// Create a peer that will execute `plan` from address `addr`.
+    pub fn new(
+        server: NodeId,
+        addr: Ipv4Addr,
+        plan: SessionPlan,
+        env: PeerEnv,
+        rng: StdRng,
+        keepalive: SimDuration,
+    ) -> ClientPeer {
+        ClientPeer {
+            server,
+            addr,
+            plan,
+            env,
+            rng,
+            keepalive,
+            connected: false,
+        }
+    }
+
+    fn send_frame(&mut self, ctx: &mut Context<'_, NetMsg>, msg: &Message) {
+        let bytes = encode_message(msg);
+        let server = self.server;
+        ctx.send(server, NetMsg::Data(bytes), &self.env.latency.clone());
+    }
+
+    fn exp_delay(&mut self, mean_secs: f64) -> SimDuration {
+        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        SimDuration::from_secs_f64(-mean_secs * u.ln())
+    }
+
+    fn schedule_relays(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let q = self.exp_delay(self.env.relay.query_mean_secs);
+        ctx.set_timer(q, TAG_RELAY_QUERY);
+        let p = self.exp_delay(self.env.relay.pong_mean_secs);
+        ctx.set_timer(p, TAG_RELAY_PONG);
+        let h = self.exp_delay(self.env.relay.hit_mean_secs);
+        ctx.set_timer(h, TAG_RELAY_HIT);
+    }
+
+    fn relay_header(&mut self) -> (u8, u8) {
+        // Received hop counts of relayed traffic: skewed toward the middle
+        // of the 7-hop flood radius.
+        let hops = *[2u8, 2, 3, 3, 3, 4, 4, 5, 5, 6]
+            .get(self.rng.gen_range(0..10))
+            .unwrap();
+        (hops, gnutella::message::DEFAULT_TTL.saturating_sub(hops).max(1))
+    }
+
+    fn send_relay_query(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let hour = ctx.now().hour_of_day();
+        let day = ctx.now().day() as usize;
+        let region = self.env.diurnal.sample_region(hour, &mut self.rng);
+        let text = self
+            .env
+            .vocab
+            .sample_query(region, day, &mut self.rng)
+            .to_string();
+        let (hops, ttl) = self.relay_header();
+        let msg = Message {
+            guid: Guid::random(&mut self.rng),
+            ttl,
+            hops,
+            payload: Payload::Query(Query::keywords(text)),
+        };
+        self.send_frame(ctx, &msg);
+    }
+
+    fn send_relay_pong(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let hour = ctx.now().hour_of_day();
+        let region = self.env.diurnal.sample_region(hour, &mut self.rng);
+        let addr = self.env.alloc.sample(region, &mut self.rng);
+        let files = self.env.files.sample(&mut self.rng);
+        let kb = self.env.files.kb_for(files, &mut self.rng);
+        let (hops, ttl) = self.relay_header();
+        let msg = Message {
+            guid: Guid::random(&mut self.rng),
+            ttl,
+            hops,
+            payload: Payload::Pong(Pong {
+                port: 6346,
+                addr,
+                shared_files: files,
+                shared_kb: kb,
+            }),
+        };
+        self.send_frame(ctx, &msg);
+    }
+
+    fn send_relay_hit(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let hour = ctx.now().hour_of_day();
+        let region = self.env.diurnal.sample_region(hour, &mut self.rng);
+        let addr = self.env.alloc.sample(region, &mut self.rng);
+        let (hops, ttl) = self.relay_header();
+        let n = self.rng.gen_range(1..=4);
+        let results = (0..n)
+            .map(|i| QueryHitResult {
+                index: i,
+                size: self.rng.gen_range(500_000..8_000_000),
+                name: format!("file{:04}.mp3", self.rng.gen_range(0..9_999)),
+            })
+            .collect();
+        let msg = Message {
+            guid: Guid::random(&mut self.rng),
+            ttl,
+            hops,
+            payload: Payload::QueryHit(QueryHit {
+                port: 6346,
+                addr,
+                speed: self.rng.gen_range(28..1_000),
+                results,
+                servent: Guid::random(&mut self.rng),
+            }),
+        };
+        self.send_frame(ctx, &msg);
+    }
+
+    /// Respond to a query forwarded to us by the measurement peer.
+    fn maybe_answer_query(&mut self, ctx: &mut Context<'_, NetMsg>, incoming: &Message) {
+        if self.plan.shared_files == 0 {
+            return;
+        }
+        // A modest hit probability; hits reuse the incoming GUID so the
+        // measurement peer's reverse routing is exercised.
+        if self.rng.gen::<f64>() > 0.05 {
+            return;
+        }
+        let msg = Message {
+            guid: incoming.guid,
+            ttl: gnutella::message::DEFAULT_TTL - 1,
+            hops: 1,
+            payload: Payload::QueryHit(QueryHit {
+                port: 6346,
+                addr: self.addr,
+                speed: self.rng.gen_range(28..1_000),
+                results: vec![QueryHitResult {
+                    index: 0,
+                    size: self.rng.gen_range(500_000..8_000_000),
+                    name: "match.mp3".into(),
+                }],
+                servent: Guid::random(&mut self.rng),
+            }),
+        };
+        self.send_frame(ctx, &msg);
+    }
+}
+
+impl Actor for ClientPeer {
+    type Msg = NetMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let hs = Handshake::new(self.plan.user_agent.clone(), self.plan.ultrapeer).render();
+        let addr = self.addr;
+        let server = self.server;
+        let latency = self.env.latency;
+        ctx.send(
+            server,
+            NetMsg::Connect {
+                addr,
+                handshake: hs,
+            },
+            &latency,
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, NetMsg>, _from: NodeId, msg: NetMsg) {
+        match msg {
+            NetMsg::ConnectReply(HandshakeResponse::Accept) => {
+                self.connected = true;
+                // Plan timeline starts now.
+                for (i, q) in self.plan.queries.iter().enumerate() {
+                    ctx.set_timer(q.offset, i as u64);
+                }
+                ctx.set_timer(self.plan.duration, TAG_END);
+                let ka = self.keepalive;
+                ctx.set_timer(ka, TAG_KEEPALIVE);
+                if self.plan.ultrapeer {
+                    self.schedule_relays(ctx);
+                }
+            }
+            NetMsg::ConnectReply(HandshakeResponse::Busy) => {
+                ctx.remove_self();
+            }
+            NetMsg::Data(mut bytes) => {
+                while let Ok(m) = decode_message(&mut bytes) {
+                    match &m.payload {
+                        Payload::Ping => {
+                            // Answer probe / keepalive pings while alive.
+                            let pong = Message::originate(
+                                Guid::random(&mut self.rng),
+                                Payload::Pong(Pong {
+                                    port: 6346,
+                                    addr: self.addr,
+                                    shared_files: self.plan.shared_files,
+                                    shared_kb: self.plan.shared_files.saturating_mul(4_000),
+                                }),
+                            )
+                            .first_hop();
+                            self.send_frame(ctx, &pong);
+                        }
+                        Payload::Query(_) => {
+                            let m = m.clone();
+                            self.maybe_answer_query(ctx, &m);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            NetMsg::Disconnect => {
+                ctx.remove_self();
+            }
+            NetMsg::Connect { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, tag: u64) {
+        if !self.connected {
+            return;
+        }
+        match tag {
+            TAG_END => {
+                if !self.plan.vanish {
+                    if self.plan.send_bye {
+                        let bye = Message::originate(
+                            Guid::random(&mut self.rng),
+                            Payload::Bye(gnutella::message::Bye {
+                                code: 200,
+                                reason: "shutting down".into(),
+                            }),
+                        )
+                        .first_hop();
+                        self.send_frame(ctx, &bye);
+                    }
+                    let server = self.server;
+                    let latency = self.env.latency;
+                    ctx.send(server, NetMsg::Disconnect, &latency);
+                }
+                // Either way the peer is gone; a vanished peer simply stops
+                // responding and the measurement side probe-closes later.
+                ctx.remove_self();
+            }
+            TAG_KEEPALIVE => {
+                let ping =
+                    Message::originate(Guid::random(&mut self.rng), Payload::Ping).first_hop();
+                self.send_frame(ctx, &ping);
+                let ka = self.keepalive;
+                ctx.set_timer(ka, TAG_KEEPALIVE);
+            }
+            TAG_RELAY_QUERY => {
+                self.send_relay_query(ctx);
+                let d = self.exp_delay(self.env.relay.query_mean_secs);
+                ctx.set_timer(d, TAG_RELAY_QUERY);
+            }
+            TAG_RELAY_PONG => {
+                self.send_relay_pong(ctx);
+                let d = self.exp_delay(self.env.relay.pong_mean_secs);
+                ctx.set_timer(d, TAG_RELAY_PONG);
+            }
+            TAG_RELAY_HIT => {
+                self.send_relay_hit(ctx);
+                let d = self.exp_delay(self.env.relay.hit_mean_secs);
+                ctx.set_timer(d, TAG_RELAY_HIT);
+            }
+            i => {
+                // A planned query.
+                let Some(pq) = self.plan.queries.get(i as usize) else {
+                    return;
+                };
+                let payload = Payload::Query(Query {
+                    min_speed: 0,
+                    text: pq.text.clone(),
+                    sha1: pq.sha1.clone(),
+                });
+                let msg = Message::originate(Guid::random(&mut self.rng), payload).first_hop();
+                self.send_frame(ctx, &msg);
+            }
+        }
+    }
+
+    fn on_stop(&mut self, _now: simnet::SimTime) {}
+}
+
+// Quick-session note: quick disconnects are just plans with kind
+// `SessionKind::Quick`, executed identically (short duration, usually no
+// queries); the measurement side cannot tell the difference except by
+// duration — which is the point of filter rule 3.

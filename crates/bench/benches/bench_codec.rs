@@ -1,0 +1,83 @@
+//! Wire-codec throughput: encode/decode of the Gnutella message mix.
+
+use bytes::BytesMut;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gnutella::message::{Message, Payload, Pong, Query, QueryHit, QueryHitResult};
+use gnutella::wire::{decode_message, encode_message};
+use gnutella::Guid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+fn message_mix() -> Vec<Message> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut out = Vec::new();
+    for i in 0..1_000u32 {
+        let payload = match i % 4 {
+            0 => Payload::Ping,
+            1 => Payload::Pong(Pong {
+                port: 6346,
+                addr: Ipv4Addr::new(24, 1, (i % 255) as u8, 7),
+                shared_files: i,
+                shared_kb: i * 4_000,
+            }),
+            2 => Payload::Query(Query::keywords(format!("dark song {i}"))),
+            _ => Payload::QueryHit(QueryHit {
+                port: 6346,
+                addr: Ipv4Addr::new(82, 2, 3, 4),
+                speed: 350,
+                results: vec![QueryHitResult {
+                    index: i,
+                    size: 4_000_000,
+                    name: format!("file{i}.mp3"),
+                }],
+                servent: Guid::random(&mut rng),
+            }),
+        };
+        out.push(Message {
+            guid: Guid::random(&mut rng),
+            ttl: 5,
+            hops: 2,
+            payload,
+        });
+    }
+    out
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msgs = message_mix();
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(msgs.len() as u64));
+
+    group.bench_function("encode_1000", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for m in &msgs {
+                total += encode_message(m).len();
+            }
+            black_box(total)
+        })
+    });
+
+    let mut stream = BytesMut::new();
+    for m in &msgs {
+        stream.extend_from_slice(&encode_message(m));
+    }
+    let stream = stream.freeze();
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.bench_function("decode_1000", |b| {
+        b.iter(|| {
+            let mut buf = stream.clone();
+            let mut n = 0;
+            while let Ok(m) = decode_message(&mut buf) {
+                n += 1;
+                black_box(&m);
+            }
+            assert_eq!(n, msgs.len());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

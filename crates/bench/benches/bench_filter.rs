@@ -1,0 +1,44 @@
+//! Filter-pipeline and session-reconstruction throughput.
+
+use analysis::filter::apply_filters;
+use behavior::{run_population, PopulationConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use geoip::GeoDb;
+use trace::Sessions;
+
+fn bench_filter(c: &mut Criterion) {
+    // One medium trace shared across the benches.
+    let trace = run_population(&PopulationConfig {
+        seed: 55,
+        days: 0.25,
+        sessions_per_day: 8_000.0,
+        ..PopulationConfig::default()
+    });
+    let db = GeoDb::synthetic();
+    let n_msgs = trace.messages.len() as u64;
+
+    let mut group = c.benchmark_group("analysis");
+    group.throughput(Throughput::Elements(n_msgs));
+    group.sample_size(20);
+
+    group.bench_function("session_reconstruction", |b| {
+        b.iter(|| black_box(Sessions::from_trace(&trace)))
+    });
+
+    group.bench_function("filter_rules_1_to_5", |b| {
+        b.iter(|| black_box(apply_filters(&trace, &db)))
+    });
+
+    // JSONL serialization round trip.
+    group.bench_function("trace_jsonl_write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1 << 20);
+            trace.write_jsonl(&mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Generator throughput: events/second of the Figure 12 algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p2pq::{GeneratorConfig, WorkloadGenerator, WorkloadModel};
+use simnet::SimDuration;
+
+fn bench_generator(c: &mut Criterion) {
+    let model = WorkloadModel::paper_default();
+    let mut group = c.benchmark_group("generator");
+    for &n_peers in &[10usize, 100, 1_000] {
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(
+            BenchmarkId::new("events", n_peers),
+            &n_peers,
+            |b, &n_peers| {
+                b.iter(|| {
+                    let gen = WorkloadGenerator::new(
+                        &model,
+                        GeneratorConfig {
+                            n_peers,
+                            seed: 7,
+                            fixed_hour: Some(20),
+                            warmup: SimDuration::from_secs(60),
+                            ..GeneratorConfig::default()
+                        },
+                    );
+                    let mut count = 0u64;
+                    for ev in gen.take(10_000) {
+                        count += u64::from(matches!(ev, p2pq::WorkloadEvent::Query { .. }));
+                    }
+                    black_box(count)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Model materialization cost (cold start).
+    c.bench_function("generator/cold_start_1000_peers", |b| {
+        b.iter(|| {
+            let gen = WorkloadGenerator::new(
+                &model,
+                GeneratorConfig {
+                    n_peers: 1_000,
+                    seed: 9,
+                    fixed_hour: Some(12),
+                    ..GeneratorConfig::default()
+                },
+            );
+            black_box(gen.sessions_started())
+        })
+    });
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

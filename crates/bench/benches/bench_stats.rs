@@ -1,0 +1,68 @@
+//! Statistics-substrate costs: sampling, fitting, ECDF construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stats::dist::{BodyTail, Continuous, Discrete, Lognormal, Pareto, Zipf};
+use stats::fit::{fit_lognormal, fit_lognormal_truncated, fit_weibull, fit_zipf};
+use stats::Ecdf;
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ln = Lognormal::new(3.353, 1.625).unwrap();
+    let composite = BodyTail::new(
+        Lognormal::new(3.353, 1.625).unwrap(),
+        Pareto::new(0.9041, 103.0).unwrap(),
+        103.0,
+        0.7,
+    )
+    .unwrap();
+    let zipf = Zipf::new(0.386, 1_931).unwrap();
+
+    let mut group = c.benchmark_group("sampling");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("lognormal_10k", |b| {
+        b.iter(|| black_box(ln.sample_n(&mut rng, 10_000)))
+    });
+    group.bench_function("body_tail_composite_10k", |b| {
+        b.iter(|| black_box(composite.sample_n(&mut rng, 10_000)))
+    });
+    group.bench_function("zipf_rank_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc += zipf.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    let samples = ln.sample_n(&mut rng, 20_000);
+    let weibull_samples = stats::dist::Weibull::new(1.477, 0.005252)
+        .unwrap()
+        .sample_n(&mut rng, 20_000);
+    let zipf_freqs: Vec<f64> = (1..=100).map(|r| (r as f64).powf(-0.386)).collect();
+
+    let mut group = c.benchmark_group("fitting");
+    group.sample_size(30);
+    group.bench_function("lognormal_mle_20k", |b| {
+        b.iter(|| black_box(fit_lognormal(&samples).unwrap()))
+    });
+    group.bench_function("lognormal_truncated_20k", |b| {
+        b.iter(|| black_box(fit_lognormal_truncated(&samples, Some(10.0), None).unwrap()))
+    });
+    group.bench_function("weibull_newton_20k", |b| {
+        b.iter(|| black_box(fit_weibull(&weibull_samples).unwrap()))
+    });
+    group.bench_function("zipf_loglog_100", |b| {
+        b.iter(|| black_box(fit_zipf(&zipf_freqs).unwrap()))
+    });
+    group.bench_function("ecdf_build_20k", |b| {
+        b.iter(|| black_box(Ecdf::new(samples.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Run every registered experiment on one shared context and write the
+//! combined report (the data behind EXPERIMENTS.md) to stdout.
+
+use bench_support::{registry, ExperimentContext};
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    println!("# Experiment report (scale: {:?})", ctx.scale);
+    println!(
+        "# trace: {} connections, {} filtered sessions, {} observed days\n",
+        ctx.trace.connections.len(),
+        ctx.ft.sessions.len(),
+        ctx.obs.n_days()
+    );
+    for e in registry() {
+        println!("## [{}] {}\n", e.id, e.title);
+        let t0 = std::time::Instant::now();
+        print!("{}", (e.run)(&ctx));
+        println!("\n(took {:.1?})\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,22 @@
+//! Run one experiment by id: `exp <id>`; `exp --list` lists all.
+
+use bench_support::{find, registry, ExperimentContext};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "--list".into());
+    if arg == "--list" {
+        println!("available experiments:");
+        for e in registry() {
+            println!("  {:<24} {}", e.id, e.title);
+        }
+        println!("\nusage: exp <id>   (scale via P2PQ_SCALE=smoke|default|full)");
+        return;
+    }
+    let Some(exp) = find(&arg) else {
+        eprintln!("unknown experiment `{arg}`; try --list");
+        std::process::exit(2);
+    };
+    let ctx = ExperimentContext::from_env();
+    println!("=== {} ===\n", exp.title);
+    print!("{}", (exp.run)(&ctx));
+}

@@ -1,0 +1,7 @@
+//! The per-table / per-figure experiment implementations.
+
+pub mod ablations;
+pub mod appendix;
+pub mod figures;
+pub mod generator;
+pub mod tables;

@@ -1,0 +1,234 @@
+//! Workload event stream types.
+
+use crate::model::QueryClass;
+use geoip::Region;
+use serde::{Deserialize, Serialize};
+use simnet::SimTime;
+
+/// Identifier of a synthetic peer (slot-unique across the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeerId(pub u64);
+
+/// A generated query: its class, per-day rank, and the stable identity of
+/// the underlying "document" (the item the rank mapped to on that day —
+/// two queries with the same `item` on different days are the *same*
+/// search even if their ranks drifted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryRef {
+    /// Geographic query class.
+    pub class: QueryClass,
+    /// 1-based popularity rank within the class on the day of issue.
+    pub rank: u64,
+    /// Stable item identity within the class pool.
+    pub item: u64,
+}
+
+impl QueryRef {
+    /// Canonical query-string form, usable as a Gnutella keyword set.
+    pub fn to_query_string(&self) -> String {
+        format!("class{} item{}", self.class.index(), self.item)
+    }
+}
+
+/// One event in the synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadEvent {
+    /// A peer joined the overlay.
+    SessionStart {
+        /// The peer.
+        peer: PeerId,
+        /// Its region.
+        region: Region,
+        /// Event time.
+        at: SimTime,
+        /// Whether the session will be passive.
+        passive: bool,
+    },
+    /// A peer issued a query.
+    Query {
+        /// The peer.
+        peer: PeerId,
+        /// Event time.
+        at: SimTime,
+        /// The query identity.
+        query: QueryRef,
+    },
+    /// A peer left the overlay.
+    SessionEnd {
+        /// The peer.
+        peer: PeerId,
+        /// Event time.
+        at: SimTime,
+    },
+}
+
+impl WorkloadEvent {
+    /// Event timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            WorkloadEvent::SessionStart { at, .. }
+            | WorkloadEvent::Query { at, .. }
+            | WorkloadEvent::SessionEnd { at, .. } => *at,
+        }
+    }
+
+    /// The peer the event belongs to.
+    pub fn peer(&self) -> PeerId {
+        match self {
+            WorkloadEvent::SessionStart { peer, .. }
+            | WorkloadEvent::Query { peer, .. }
+            | WorkloadEvent::SessionEnd { peer, .. } => *peer,
+        }
+    }
+}
+
+/// Summary of one completed synthetic session (built by consumers, e.g.
+/// the validation experiments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// The peer.
+    pub peer: PeerId,
+    /// Region.
+    pub region: Region,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+    /// Query times, ascending.
+    pub query_times: Vec<SimTime>,
+}
+
+impl SessionSummary {
+    /// Session duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.end.since(self.start).as_secs_f64()
+    }
+
+    /// Passive (issued no queries)?
+    pub fn is_passive(&self) -> bool {
+        self.query_times.is_empty()
+    }
+
+    /// Interarrival gaps in seconds.
+    pub fn interarrivals(&self) -> Vec<f64> {
+        self.query_times
+            .windows(2)
+            .map(|w| w[1].since(w[0]).as_secs_f64())
+            .collect()
+    }
+}
+
+/// Fold an event stream into completed session summaries (sessions still
+/// open when the stream ends are discarded).
+pub fn collect_sessions(events: impl IntoIterator<Item = WorkloadEvent>) -> Vec<SessionSummary> {
+    use std::collections::HashMap;
+    let mut open: HashMap<PeerId, SessionSummary> = HashMap::new();
+    let mut done = Vec::new();
+    for ev in events {
+        match ev {
+            WorkloadEvent::SessionStart {
+                peer, region, at, ..
+            } => {
+                open.insert(
+                    peer,
+                    SessionSummary {
+                        peer,
+                        region,
+                        start: at,
+                        end: at,
+                        query_times: Vec::new(),
+                    },
+                );
+            }
+            WorkloadEvent::Query { peer, at, .. } => {
+                if let Some(s) = open.get_mut(&peer) {
+                    s.query_times.push(at);
+                }
+            }
+            WorkloadEvent::SessionEnd { peer, at } => {
+                if let Some(mut s) = open.remove(&peer) {
+                    s.end = at;
+                    done.push(s);
+                }
+            }
+        }
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let e = WorkloadEvent::Query {
+            peer: PeerId(3),
+            at: SimTime::from_secs(7),
+            query: QueryRef {
+                class: QueryClass::NaOnly,
+                rank: 1,
+                item: 42,
+            },
+        };
+        assert_eq!(e.at(), SimTime::from_secs(7));
+        assert_eq!(e.peer(), PeerId(3));
+    }
+
+    #[test]
+    fn query_string_form() {
+        let q = QueryRef {
+            class: QueryClass::NaEu,
+            rank: 5,
+            item: 99,
+        };
+        let s = q.to_query_string();
+        assert!(s.contains("item99"));
+        assert!(s.contains("class3"));
+    }
+
+    #[test]
+    fn collect_sessions_folds_stream() {
+        let t = SimTime::from_secs;
+        let q = QueryRef {
+            class: QueryClass::NaOnly,
+            rank: 1,
+            item: 0,
+        };
+        let events = vec![
+            WorkloadEvent::SessionStart {
+                peer: PeerId(1),
+                region: Region::Europe,
+                at: t(0),
+                passive: false,
+            },
+            WorkloadEvent::Query {
+                peer: PeerId(1),
+                at: t(10),
+                query: q,
+            },
+            WorkloadEvent::Query {
+                peer: PeerId(1),
+                at: t(40),
+                query: q,
+            },
+            WorkloadEvent::SessionStart {
+                peer: PeerId(2),
+                region: Region::Asia,
+                at: t(5),
+                passive: true,
+            },
+            WorkloadEvent::SessionEnd {
+                peer: PeerId(1),
+                at: t(100),
+            },
+            // Peer 2 never ends → discarded.
+        ];
+        let sessions = collect_sessions(events);
+        assert_eq!(sessions.len(), 1);
+        let s = &sessions[0];
+        assert_eq!(s.duration_secs(), 100.0);
+        assert!(!s.is_passive());
+        assert_eq!(s.interarrivals(), vec![30.0]);
+    }
+}

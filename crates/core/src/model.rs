@@ -1,0 +1,716 @@
+//! The workload model: every conditional distribution of §4, as data.
+//!
+//! [`WorkloadModel`] is a plain, serializable parameter set; call
+//! [`WorkloadModel::paper_default`] for the appendix-table values, load
+//! one from JSON, or derive one from a trace with [`crate::calibrate()`].
+//! Distribution objects are materialized on demand through the accessor
+//! methods (cheaply, except the popularity rank tables which the
+//! generator caches).
+
+use geoip::{DiurnalModel, Region};
+use serde::{Deserialize, Serialize};
+use stats::dist::{BodyTail, Lognormal, Pareto, Truncated, Weibull, Zipf, TwoPieceZipf};
+use stats::StatsError;
+
+/// Lognormal parameters (σ, µ — appendix order).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LognormalParams {
+    /// Log-mean µ.
+    pub mu: f64,
+    /// Log-std-dev σ.
+    pub sigma: f64,
+}
+
+impl LognormalParams {
+    /// Materialize the distribution.
+    pub fn dist(&self) -> Result<Lognormal, StatsError> {
+        Lognormal::new(self.mu, self.sigma)
+    }
+}
+
+/// Weibull parameters in the paper's `F(x) = 1 − exp(−λxᵅ)` form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeibullParams {
+    /// Shape α.
+    pub alpha: f64,
+    /// Rate λ.
+    pub lambda: f64,
+}
+
+impl WeibullParams {
+    /// Materialize the distribution.
+    pub fn dist(&self) -> Result<Weibull, StatsError> {
+        Weibull::new(self.alpha, self.lambda)
+    }
+}
+
+/// Pareto parameters (`F(x) = 1 − (β/x)ᵅ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoParams {
+    /// Tail index α.
+    pub alpha: f64,
+    /// Location β.
+    pub beta: f64,
+}
+
+impl ParetoParams {
+    /// Materialize the distribution.
+    pub fn dist(&self) -> Result<Pareto, StatsError> {
+        Pareto::new(self.alpha, self.beta)
+    }
+}
+
+/// A body‖tail composite: body below `split` with probability
+/// `body_weight`, tail above.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BodyTailParams<B, T> {
+    /// Split point (units of the modeled quantity).
+    pub split: f64,
+    /// Probability mass of the body.
+    pub body_weight: f64,
+    /// Body component parameters.
+    pub body: B,
+    /// Tail component parameters.
+    pub tail: T,
+}
+
+/// Query-count conditioning classes used by Tables A.3 (first query).
+pub const FIRST_QUERY_CLASSES: usize = 3; // <3, =3, >3
+/// Query-count conditioning classes used by Table A.5 (after last query).
+pub const LAST_QUERY_CLASSES: usize = 3; // 1, 2–7, >7
+
+/// Index for the Table A.3 classes.
+pub fn first_query_class(n_queries: u32) -> usize {
+    match n_queries {
+        0..=2 => 0,
+        3 => 1,
+        _ => 2,
+    }
+}
+
+/// Index for the Table A.5 classes.
+pub fn last_query_class(n_queries: u32) -> usize {
+    match n_queries {
+        0 | 1 => 0,
+        2..=7 => 1,
+        _ => 2,
+    }
+}
+
+/// Interarrival model (Table A.4 + Figure 8 conditioning).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterarrivalModel {
+    /// Body lognormal per period (`[peak, non-peak]`).
+    pub body: [LognormalParams; 2],
+    /// Pareto tail per period.
+    pub tail: [ParetoParams; 2],
+    /// Split point (103 s in the paper).
+    pub split: f64,
+    /// Body weight per region (Figure 8(a): EU 0.9, Asia 0.8, NA 0.7).
+    pub body_weight: [f64; 4],
+    /// Per-region body-µ shift (e.g. EU interarrivals are shorter).
+    pub mu_shift: [f64; 4],
+    /// Extra µ shift for European sessions conditioned on query count
+    /// (Figure 8(b)): `[<3, 3–7, >7]`. Zero for other regions — the paper
+    /// found NO such correlation for North America.
+    pub eu_count_shift: [f64; 3],
+}
+
+/// The seven disjoint geographic query classes (§4.6 / Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryClass {
+    /// Issued only by North American peers.
+    NaOnly,
+    /// Issued only by European peers.
+    EuOnly,
+    /// Issued only by Asian peers.
+    AsOnly,
+    /// North America ∩ Europe.
+    NaEu,
+    /// North America ∩ Asia.
+    NaAs,
+    /// Europe ∩ Asia.
+    EuAs,
+    /// All three regions.
+    All,
+}
+
+impl QueryClass {
+    /// All classes, fixed order.
+    pub const ALL7: [QueryClass; 7] = [
+        QueryClass::NaOnly,
+        QueryClass::EuOnly,
+        QueryClass::AsOnly,
+        QueryClass::NaEu,
+        QueryClass::NaAs,
+        QueryClass::EuAs,
+        QueryClass::All,
+    ];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        Self::ALL7.iter().position(|&c| c == self).unwrap()
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryClass::NaOnly => "NA-only",
+            QueryClass::EuOnly => "EU-only",
+            QueryClass::AsOnly => "AS-only",
+            QueryClass::NaEu => "NA∩EU",
+            QueryClass::NaAs => "NA∩AS",
+            QueryClass::EuAs => "EU∩AS",
+            QueryClass::All => "NA∩EU∩AS",
+        }
+    }
+}
+
+/// Rank-popularity law of one query class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RankLawParams {
+    /// Single Zipf-like law with exponent α.
+    Zipf {
+        /// Exponent α.
+        alpha: f64,
+    },
+    /// Two-piece Zipf (the flattened-head intersection classes,
+    /// Figure 11(c)).
+    TwoPiece {
+        /// Body exponent (ranks ≤ break).
+        alpha_body: f64,
+        /// Tail exponent.
+        alpha_tail: f64,
+        /// Break rank.
+        break_rank: u64,
+    },
+}
+
+/// Built rank sampler.
+#[derive(Debug, Clone)]
+pub enum RankLaw {
+    /// Single-piece Zipf sampler.
+    Zipf(Zipf),
+    /// Two-piece Zipf sampler.
+    TwoPiece(TwoPieceZipf),
+}
+
+impl RankLaw {
+    /// Draw a 1-based rank.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        use stats::dist::Discrete;
+        match self {
+            RankLaw::Zipf(z) => z.sample(rng),
+            RankLaw::TwoPiece(z) => z.sample(rng),
+        }
+    }
+}
+
+/// Popularity structure of one class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassPopularity {
+    /// Rank law.
+    pub law: RankLawParams,
+    /// Distinct queries active per day (Table 3, 1-day column).
+    pub daily_size: u64,
+    /// Underlying pool multiplier (hot-set drift head-room).
+    pub pool_multiplier: u64,
+}
+
+impl ClassPopularity {
+    /// Build the rank sampler over this class's daily set.
+    pub fn build_law(&self) -> Result<RankLaw, StatsError> {
+        match self.law {
+            RankLawParams::Zipf { alpha } => Ok(RankLaw::Zipf(Zipf::new(alpha, self.daily_size)?)),
+            RankLawParams::TwoPiece {
+                alpha_body,
+                alpha_tail,
+                break_rank,
+            } => {
+                let brk = break_rank.clamp(1, self.daily_size.saturating_sub(1).max(1));
+                Ok(RankLaw::TwoPiece(TwoPieceZipf::new(
+                    alpha_body,
+                    alpha_tail,
+                    brk,
+                    self.daily_size.max(2),
+                )?))
+            }
+        }
+    }
+}
+
+/// Per-region class-selection probabilities (§4.7: a NA query falls in
+/// the NA set with probability 0.97, in an intersection set with 0.03).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMixParams {
+    /// NA: (NaOnly, NaEu, NaAs, All).
+    pub na: [f64; 4],
+    /// EU: (EuOnly, NaEu, EuAs, All).
+    pub eu: [f64; 4],
+    /// Asia: (AsOnly, NaAs, EuAs, All).
+    pub asia: [f64; 4],
+}
+
+/// Popularity model: per-class structure plus region mixing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopularityModel {
+    /// Per-class popularity (indexed by [`QueryClass::index`]).
+    pub classes: [ClassPopularity; 7],
+    /// Region → class mixing probabilities.
+    pub mix: ClassMixParams,
+    /// Hot-set drift noise (Figure 10); see the generator's day mapping.
+    pub drift_sigma: f64,
+}
+
+impl PopularityModel {
+    /// The classes a region participates in, in mix order.
+    pub fn region_classes(region: Region) -> [QueryClass; 4] {
+        match region {
+            Region::NorthAmerica | Region::Other => [
+                QueryClass::NaOnly,
+                QueryClass::NaEu,
+                QueryClass::NaAs,
+                QueryClass::All,
+            ],
+            Region::Europe => [
+                QueryClass::EuOnly,
+                QueryClass::NaEu,
+                QueryClass::EuAs,
+                QueryClass::All,
+            ],
+            Region::Asia => [
+                QueryClass::AsOnly,
+                QueryClass::NaAs,
+                QueryClass::EuAs,
+                QueryClass::All,
+            ],
+        }
+    }
+
+    /// The mix probabilities of a region, aligned with
+    /// [`PopularityModel::region_classes`].
+    pub fn region_mix(&self, region: Region) -> [f64; 4] {
+        match region {
+            Region::NorthAmerica | Region::Other => self.mix.na,
+            Region::Europe => self.mix.eu,
+            Region::Asia => self.mix.asia,
+        }
+    }
+}
+
+/// The complete workload model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadModel {
+    /// Diurnal geographic mix (Figure 1) and peak periods (§4.2).
+    pub diurnal: DiurnalModel,
+    /// Fraction of passive peers per region (Figure 4).
+    pub passive_prob: [f64; 4],
+    /// Passive session duration (Table A.1), seconds:
+    /// `[region][peak(0)/non-peak(1)]`, lognormal body ‖ lognormal tail.
+    pub passive_duration: [[BodyTailParams<LognormalParams, LognormalParams>; 2]; 4],
+    /// Lower truncation of passive durations (the rule-3 boundary):
+    /// sessions shorter than this are quick disconnects, not user
+    /// sessions, and are outside the model.
+    pub min_session_secs: f64,
+    /// Queries per active session (Table A.2), per region.
+    pub queries_per_session: [LognormalParams; 4],
+    /// Maximum queries per session (numerical guard).
+    pub max_queries: u32,
+    /// Time until the first query (Table A.3), seconds:
+    /// `[region][peak/non-peak][count class]`, Weibull body ‖ lognormal
+    /// tail.
+    pub first_query: [[[BodyTailParams<WeibullParams, LognormalParams>; FIRST_QUERY_CLASSES]; 2]; 4],
+    /// Query interarrival times (Table A.4 + Figure 8 conditioning).
+    pub interarrival: InterarrivalModel,
+    /// Time after the last query (Table A.5), seconds:
+    /// `[region][peak/non-peak][count class]`.
+    pub time_after_last: [[[LognormalParams; LAST_QUERY_CLASSES]; 2]; 4],
+    /// Query popularity structure (§4.6).
+    pub popularity: PopularityModel,
+}
+
+/// Region adjustments shared by the defaults below; indexes match
+/// [`Region::index`]: NA, EU, Asia, Other.
+const REGIONS: [Region; 4] = [
+    Region::NorthAmerica,
+    Region::Europe,
+    Region::Asia,
+    Region::Other,
+];
+
+impl WorkloadModel {
+    /// The paper's model: appendix tables for North America, figure-level
+    /// adjustments for Europe and Asia (see each field's doc).
+    pub fn paper_default() -> WorkloadModel {
+        let ln = |mu: f64, sigma: f64| LognormalParams { mu, sigma };
+        let wb = |alpha: f64, lambda: f64| WeibullParams { alpha, lambda };
+
+        // --- Table A.1: passive session duration --------------------------
+        let passive_duration = {
+            let mk = |w: f64, body: (f64, f64), tail: (f64, f64)| BodyTailParams {
+                split: 120.0,
+                body_weight: w,
+                body: ln(body.0, body.1),
+                tail: ln(tail.0, tail.1),
+            };
+            let per_region = |region: Region| match region {
+                Region::NorthAmerica | Region::Other => [
+                    mk(0.75, (2.108, 2.502), (6.397, 2.749)), // peak
+                    mk(0.55, (2.201, 2.383), (6.817, 2.848)), // non-peak
+                ],
+                Region::Europe => [
+                    mk(0.55, (2.201, 2.383), (6.90, 2.80)),
+                    mk(0.42, (2.201, 2.383), (7.25, 2.85)),
+                ],
+                Region::Asia => [
+                    mk(0.85, (2.05, 2.45), (5.80, 2.60)),
+                    mk(0.78, (2.10, 2.45), (6.05, 2.70)),
+                ],
+            };
+            [
+                per_region(REGIONS[0]),
+                per_region(REGIONS[1]),
+                per_region(REGIONS[2]),
+                per_region(REGIONS[3]),
+            ]
+        };
+
+        // --- Table A.3: time until first query ----------------------------
+        let first_query = {
+            let mk = |w: f64,
+                      split: f64,
+                      body: (f64, f64),
+                      tail: (f64, f64),
+                      tail_shift: f64| BodyTailParams {
+                split,
+                body_weight: w,
+                body: wb(body.0, body.1),
+                tail: ln(tail.0 + tail_shift, tail.1),
+            };
+            let per_region = |region: Region| {
+                let shift = match region {
+                    Region::Asia => -1.35,
+                    Region::Europe => 0.25,
+                    _ => 0.0,
+                };
+                [
+                    // Peak: split 45 s, body weight 0.50.
+                    [
+                        mk(0.50, 45.0, (1.477, 0.005252), (5.091, 2.905), shift),
+                        mk(0.50, 45.0, (1.261, 0.01081), (6.303, 2.045), shift),
+                        mk(0.50, 45.0, (0.9821, 0.02662), (6.301, 2.359), shift),
+                    ],
+                    // Non-peak: split 120 s, body weight 0.42.
+                    [
+                        mk(0.42, 120.0, (1.159, 0.01779), (5.144, 3.384), shift),
+                        mk(0.42, 120.0, (1.207, 0.01446), (6.400, 2.324), shift),
+                        mk(0.42, 120.0, (0.9351, 0.03380), (7.186, 2.463), shift),
+                    ],
+                ]
+            };
+            [
+                per_region(REGIONS[0]),
+                per_region(REGIONS[1]),
+                per_region(REGIONS[2]),
+                per_region(REGIONS[3]),
+            ]
+        };
+
+        // --- Table A.5: time after last query ------------------------------
+        let time_after_last = {
+            let per_region = |region: Region| {
+                let shift = match region {
+                    Region::Asia => -0.85,
+                    _ => 0.0,
+                };
+                [
+                    [
+                        ln(4.879 + shift, 2.361),
+                        ln(5.686 + shift, 2.259),
+                        ln(6.107 + shift, 2.145),
+                    ],
+                    [
+                        ln(4.760 + shift, 2.162),
+                        ln(5.672 + shift, 2.156),
+                        ln(6.036 + shift, 2.286),
+                    ],
+                ]
+            };
+            [
+                per_region(REGIONS[0]),
+                per_region(REGIONS[1]),
+                per_region(REGIONS[2]),
+                per_region(REGIONS[3]),
+            ]
+        };
+
+        WorkloadModel {
+            diurnal: DiurnalModel::paper_default(),
+            passive_prob: [0.825, 0.775, 0.85, 0.82],
+            passive_duration,
+            min_session_secs: 64.0,
+            queries_per_session: [
+                ln(-0.0673, 1.360), // Table A.2 NA
+                ln(0.520, 1.306),   // Table A.2 EU
+                ln(-1.029, 1.618),  // Table A.2 Asia
+                ln(-0.0673, 1.360), // Other ≈ NA
+            ],
+            max_queries: 120,
+            first_query,
+            interarrival: InterarrivalModel {
+                body: [ln(3.353, 1.625), ln(2.933, 1.410)], // Table A.4
+                tail: [
+                    ParetoParams {
+                        alpha: 0.9041,
+                        beta: 103.0,
+                    },
+                    ParetoParams {
+                        alpha: 1.143,
+                        beta: 103.0,
+                    },
+                ],
+                split: 103.0,
+                body_weight: [0.70, 0.90, 0.80, 0.70], // Figure 8(a)
+                mu_shift: [0.0, -0.70, -0.35, 0.0],
+                eu_count_shift: [0.25, 0.0, -0.55], // Figure 8(b)
+            },
+            time_after_last,
+            popularity: PopularityModel {
+                classes: [
+                    // Table 3 one-day cardinalities, made disjoint;
+                    // Figure 11 exponents.
+                    ClassPopularity {
+                        law: RankLawParams::Zipf { alpha: 0.386 },
+                        daily_size: 1931,
+                        pool_multiplier: 5,
+                    },
+                    ClassPopularity {
+                        law: RankLawParams::Zipf { alpha: 0.223 },
+                        daily_size: 1875,
+                        pool_multiplier: 5,
+                    },
+                    ClassPopularity {
+                        law: RankLawParams::Zipf { alpha: 0.30 },
+                        daily_size: 145,
+                        pool_multiplier: 5,
+                    },
+                    ClassPopularity {
+                        law: RankLawParams::TwoPiece {
+                            alpha_body: 0.453,
+                            alpha_tail: 4.67,
+                            break_rank: 45,
+                        },
+                        daily_size: 54,
+                        pool_multiplier: 5,
+                    },
+                    ClassPopularity {
+                        law: RankLawParams::Zipf { alpha: 0.30 },
+                        daily_size: 3,
+                        pool_multiplier: 5,
+                    },
+                    ClassPopularity {
+                        law: RankLawParams::Zipf { alpha: 0.30 },
+                        daily_size: 3,
+                        pool_multiplier: 5,
+                    },
+                    ClassPopularity {
+                        law: RankLawParams::Zipf { alpha: 0.30 },
+                        daily_size: 2,
+                        pool_multiplier: 5,
+                    },
+                ],
+                mix: ClassMixParams {
+                    na: [0.970, 0.025, 0.003, 0.002],
+                    eu: [0.965, 0.030, 0.003, 0.002],
+                    asia: [0.930, 0.030, 0.030, 0.010],
+                },
+                drift_sigma: 2.3,
+            },
+        }
+    }
+
+    // --- Distribution accessors -------------------------------------------
+
+    fn period_index(peak: bool) -> usize {
+        if peak {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Passive session duration distribution (seconds), body additionally
+    /// truncated at [`WorkloadModel::min_session_secs`].
+    pub fn passive_duration_dist(
+        &self,
+        region: Region,
+        peak: bool,
+    ) -> Result<BodyTail<Truncated<Lognormal>, Lognormal>, StatsError> {
+        let p = &self.passive_duration[region.index()][Self::period_index(peak)];
+        let body = Truncated::new(p.body.dist()?, self.min_session_secs, p.split)?;
+        BodyTail::new(body, p.tail.dist()?, p.split, p.body_weight)
+    }
+
+    /// Queries-per-active-session distribution (continuous; round up).
+    pub fn queries_dist(&self, region: Region) -> Result<Lognormal, StatsError> {
+        self.queries_per_session[region.index()].dist()
+    }
+
+    /// Time-until-first-query distribution (seconds).
+    pub fn first_query_dist(
+        &self,
+        region: Region,
+        peak: bool,
+        n_queries: u32,
+    ) -> Result<BodyTail<Weibull, Lognormal>, StatsError> {
+        let p = &self.first_query[region.index()][Self::period_index(peak)]
+            [first_query_class(n_queries)];
+        BodyTail::new(p.body.dist()?, p.tail.dist()?, p.split, p.body_weight)
+    }
+
+    /// Query-interarrival distribution (seconds).
+    pub fn interarrival_dist(
+        &self,
+        region: Region,
+        peak: bool,
+        n_queries: u32,
+    ) -> Result<BodyTail<Lognormal, Pareto>, StatsError> {
+        let ia = &self.interarrival;
+        let pi = Self::period_index(peak);
+        let mut mu = ia.body[pi].mu + ia.mu_shift[region.index()];
+        if region == Region::Europe {
+            mu += ia.eu_count_shift[first_query_class(n_queries)];
+        }
+        let body = Lognormal::new(mu, ia.body[pi].sigma)?;
+        let tail = ia.tail[pi].dist()?;
+        BodyTail::new(body, tail, ia.split, ia.body_weight[region.index()])
+    }
+
+    /// Time-after-last-query distribution (seconds).
+    pub fn time_after_last_dist(
+        &self,
+        region: Region,
+        peak: bool,
+        n_queries: u32,
+    ) -> Result<Lognormal, StatsError> {
+        self.time_after_last[region.index()][Self::period_index(peak)]
+            [last_query_class(n_queries)]
+        .dist()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model serializes")
+    }
+
+    /// Load from JSON.
+    pub fn from_json(s: &str) -> Result<WorkloadModel, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats::dist::Continuous;
+
+    #[test]
+    fn default_model_materializes_all_distributions() {
+        let m = WorkloadModel::paper_default();
+        for region in Region::ALL {
+            for peak in [true, false] {
+                assert!(m.passive_duration_dist(region, peak).is_ok());
+                for n in [1, 3, 10] {
+                    assert!(m.first_query_dist(region, peak, n).is_ok());
+                    assert!(m.interarrival_dist(region, peak, n).is_ok());
+                    assert!(m.time_after_last_dist(region, peak, n).is_ok());
+                }
+            }
+            assert!(m.queries_dist(region).is_ok());
+        }
+        for c in &m.popularity.classes {
+            assert!(c.build_law().is_ok());
+        }
+    }
+
+    #[test]
+    fn figure_anchors_hold() {
+        let m = WorkloadModel::paper_default();
+        // Figure 5(a): P(passive duration < 2 min), peak.
+        let at2 = |r| m.passive_duration_dist(r, true).unwrap().cdf(120.0);
+        assert!((at2(Region::Asia) - 0.85).abs() < 1e-9);
+        assert!((at2(Region::NorthAmerica) - 0.75).abs() < 1e-9);
+        assert!((at2(Region::Europe) - 0.55).abs() < 1e-9);
+        // Figure 8(a): P(interarrival < 103 s).
+        let ia = |r| m.interarrival_dist(r, true, 5).unwrap().cdf(103.0);
+        assert!((ia(Region::Europe) - 0.90).abs() < 1e-9);
+        assert!((ia(Region::NorthAmerica) - 0.70).abs() < 1e-9);
+        // Figure 6(a): Europe issues more queries.
+        assert!(
+            m.queries_dist(Region::Europe).unwrap().mean().unwrap()
+                > m.queries_dist(Region::Asia).unwrap().mean().unwrap()
+        );
+    }
+
+    #[test]
+    fn class_indices_and_mix() {
+        for (i, c) in QueryClass::ALL7.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let m = WorkloadModel::paper_default();
+        for r in Region::ALL {
+            let mix = m.popularity.region_mix(r);
+            let sum: f64 = mix.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{r}: mix sums to {sum}");
+            let classes = PopularityModel::region_classes(r);
+            assert_eq!(classes.len(), 4);
+        }
+    }
+
+    #[test]
+    fn count_class_mapping() {
+        assert_eq!(first_query_class(1), 0);
+        assert_eq!(first_query_class(3), 1);
+        assert_eq!(first_query_class(4), 2);
+        assert_eq!(last_query_class(1), 0);
+        assert_eq!(last_query_class(7), 1);
+        assert_eq!(last_query_class(8), 2);
+    }
+
+    #[test]
+    fn eu_interarrival_conditioning_na_flat() {
+        let m = WorkloadModel::paper_default();
+        let eu_few = m.interarrival_dist(Region::Europe, true, 2).unwrap();
+        let eu_many = m.interarrival_dist(Region::Europe, true, 20).unwrap();
+        assert!(eu_few.quantile(0.5) > eu_many.quantile(0.5));
+        let na_few = m.interarrival_dist(Region::NorthAmerica, true, 2).unwrap();
+        let na_many = m.interarrival_dist(Region::NorthAmerica, true, 20).unwrap();
+        assert_eq!(na_few.quantile(0.5), na_many.quantile(0.5));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = WorkloadModel::paper_default();
+        let json = m.to_json();
+        let back = WorkloadModel::from_json(&json).unwrap();
+        // Floats round-trip exactly (serde_json's `float_roundtrip`).
+        assert_eq!(m, back);
+        assert_eq!(json, back.to_json());
+        assert!(json.contains("passive_prob"));
+    }
+
+    #[test]
+    fn two_piece_law_builds_with_clamped_break() {
+        // daily_size 2 with break 45 must clamp, not panic.
+        let c = ClassPopularity {
+            law: RankLawParams::TwoPiece {
+                alpha_body: 0.453,
+                alpha_tail: 4.67,
+                break_rank: 45,
+            },
+            daily_size: 2,
+            pool_multiplier: 5,
+        };
+        assert!(c.build_law().is_ok());
+    }
+}

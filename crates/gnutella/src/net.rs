@@ -1,0 +1,68 @@
+//! Simulation-level transport messages.
+//!
+//! `simnet` actors exchange [`NetMsg`] values that model a TCP connection's
+//! lifecycle: connect (carrying the rendered 0.6 handshake), the accept /
+//! busy reply, framed Gnutella traffic as raw bytes (produced by
+//! [`crate::wire::encode_message`] and decoded by the receiver, so the
+//! binary codec is exercised end-to-end), and an unceremonious disconnect —
+//! the way most 2004 clients actually left (§3.2).
+
+use crate::handshake::HandshakeResponse;
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+/// One transport-level event between two simulated endpoints.
+#[derive(Debug, Clone)]
+pub enum NetMsg {
+    /// TCP connect + `GNUTELLA CONNECT/0.6` request (rendered headers) from
+    /// a peer whose listening address is `addr`.
+    Connect {
+        /// The connecting peer's address.
+        addr: Ipv4Addr,
+        /// The rendered handshake request.
+        handshake: String,
+    },
+    /// Handshake response.
+    ConnectReply(HandshakeResponse),
+    /// Framed Gnutella messages (possibly several concatenated).
+    Data(Bytes),
+    /// Connection teardown (TCP FIN/RST); no BYE before it.
+    Disconnect,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::Handshake;
+    use crate::message::{Message, Payload};
+    use crate::wire::{decode_message, encode_message};
+    use crate::Guid;
+
+    #[test]
+    fn data_frames_round_trip_through_netmsg() {
+        let m = Message::originate(Guid([7; 16]), Payload::Ping);
+        let msg = NetMsg::Data(encode_message(&m));
+        match msg {
+            NetMsg::Data(mut b) => {
+                assert_eq!(decode_message(&mut b).unwrap(), m);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn connect_carries_parseable_handshake() {
+        let h = Handshake::new("Mutella/0.4.5", true);
+        let msg = NetMsg::Connect {
+            addr: Ipv4Addr::new(24, 1, 2, 3),
+            handshake: h.render(),
+        };
+        match msg {
+            NetMsg::Connect { handshake, addr } => {
+                assert_eq!(Handshake::parse(&handshake).unwrap(), h);
+                assert_eq!(addr.octets()[0], 24);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

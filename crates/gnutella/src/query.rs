@@ -1,0 +1,97 @@
+//! Query identity semantics.
+//!
+//! "According to the Gnutella protocol, queries are assumed to be identical
+//! if they contain the same set of keywords" (§3.2). [`QueryKey`]
+//! implements that equivalence: keywords are lowercased, tokenized on
+//! whitespace, deduplicated and sorted, so `"Floyd pink"` and
+//! `"pink  FLOYD"` are the same query. The filter pipeline (rule 2) and
+//! the popularity analysis both key on it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Canonical identity of a query string: the sorted set of its keywords.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueryKey(String);
+
+impl QueryKey {
+    /// Normalize a raw query string.
+    pub fn new(text: &str) -> QueryKey {
+        let mut words: Vec<String> = text
+            .split_whitespace()
+            .map(|w| w.to_lowercase())
+            .collect();
+        words.sort();
+        words.dedup();
+        QueryKey(words.join(" "))
+    }
+
+    /// True for queries with no keywords at all.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The canonical form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Number of distinct keywords.
+    pub fn keyword_count(&self) -> usize {
+        if self.0.is_empty() {
+            0
+        } else {
+            self.0.split(' ').count()
+        }
+    }
+}
+
+impl fmt::Display for QueryKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for QueryKey {
+    fn from(s: &str) -> Self {
+        QueryKey::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_set_equivalence() {
+        assert_eq!(QueryKey::new("pink floyd"), QueryKey::new("Floyd PINK"));
+        assert_eq!(QueryKey::new("a  b   c"), QueryKey::new("c b a"));
+        assert_eq!(QueryKey::new("dup dup dup"), QueryKey::new("dup"));
+        assert_ne!(QueryKey::new("pink floyd"), QueryKey::new("pink"));
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(QueryKey::new("").is_empty());
+        assert!(QueryKey::new("   \t ").is_empty());
+        assert_eq!(QueryKey::new("").keyword_count(), 0);
+    }
+
+    #[test]
+    fn keyword_count() {
+        assert_eq!(QueryKey::new("one two three").keyword_count(), 3);
+        assert_eq!(QueryKey::new("one one").keyword_count(), 1);
+    }
+
+    #[test]
+    fn display_and_from() {
+        let k: QueryKey = "Zeppelin led".into();
+        assert_eq!(k.to_string(), "led zeppelin");
+        assert_eq!(k.as_str(), "led zeppelin");
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(QueryKey::new("BJÖRK"), QueryKey::new("björk"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the Gnutella protocol layer.
+
+use gnutella::message::{Message, Payload, Query};
+use gnutella::{Guid, Handshake, QueryKey, RoutingTable};
+use proptest::prelude::*;
+use simnet::{NodeId, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn query_key_is_canonical(words in proptest::collection::vec("[a-zA-Z0-9]{1,10}", 0..8)) {
+        let text = words.join(" ");
+        let key = QueryKey::new(&text);
+        // Idempotent: normalizing the canonical form changes nothing.
+        prop_assert_eq!(QueryKey::new(key.as_str()), key.clone());
+        // Keyword count never exceeds the input word count.
+        prop_assert!(key.keyword_count() <= words.len());
+        // Order invariance.
+        let mut rev = words.clone();
+        rev.reverse();
+        prop_assert_eq!(QueryKey::new(&rev.join(" ")), key);
+    }
+
+    #[test]
+    fn handshake_render_parse_round_trip(agent in "[A-Za-z][A-Za-z0-9./-]{0,30}", up in any::<bool>()) {
+        let h = Handshake::new(agent, up);
+        let parsed = Handshake::parse(&h.render()).unwrap();
+        prop_assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn ttl_hops_sum_never_grows(ttl in 1u8..8, hops in 0u8..8) {
+        let m = Message {
+            guid: Guid([1; 16]),
+            ttl,
+            hops,
+            payload: Payload::Query(Query::keywords("x y")),
+        };
+        let budget = u32::from(ttl) + u32::from(hops);
+        let mut cur = m;
+        while let Some(next) = cur.forwarded() {
+            prop_assert!(u32::from(next.ttl) + u32::from(next.hops) <= budget);
+            prop_assert_eq!(next.hops, cur.hops + 1);
+            cur = next;
+        }
+        prop_assert!(cur.ttl <= 1);
+    }
+
+    #[test]
+    fn routing_table_first_writer_wins(
+        inserts in proptest::collection::vec((0u8..20, 0u32..5, 0u64..500), 1..100),
+    ) {
+        let mut rt = RoutingTable::with_expiry(SimDuration::from_secs(1_000_000));
+        let mut expected: std::collections::HashMap<u8, u32> = Default::default();
+        let mut t = 0u64;
+        for (g, node, dt) in inserts {
+            t += dt;
+            let fresh = rt.insert(Guid([g; 16]), NodeId(node), SimTime::from_secs(t));
+            let e = expected.entry(g);
+            match e {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    prop_assert!(fresh);
+                    v.insert(node);
+                }
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    prop_assert!(!fresh);
+                }
+            }
+        }
+        for (g, node) in expected {
+            prop_assert_eq!(rt.reverse_route(&Guid([g; 16])), Some(NodeId(node)));
+        }
+    }
+
+    #[test]
+    fn routing_table_expiry_is_complete(n in 1usize..200) {
+        let mut rt = RoutingTable::with_expiry(SimDuration::from_secs(5));
+        for i in 0..n {
+            rt.insert(Guid([(i % 251) as u8; 16]), NodeId(0), SimTime::from_secs(i as u64));
+        }
+        // Sweep far past every insertion: nothing survives.
+        rt.sweep(SimTime::from_secs(n as u64 + 10));
+        prop_assert!(rt.is_empty());
+    }
+}

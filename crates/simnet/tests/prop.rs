@@ -1,0 +1,52 @@
+//! Property tests for the simulation engine.
+
+use proptest::prelude::*;
+use simnet::{EventQueue, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn time_arithmetic_consistency(a in 0u64..1_000_000_000, d in 0u64..1_000_000_000) {
+        let t = SimTime::from_millis(a);
+        let dur = SimDuration::from_millis(d);
+        let t2 = t + dur;
+        prop_assert_eq!(t2 - t, dur);
+        prop_assert_eq!(t2.since(t), dur);
+        // Subtraction saturates instead of wrapping.
+        prop_assert_eq!(t - t2, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn day_and_hour_decomposition(ms in 0u64..(100 * 86_400_000)) {
+        let t = SimTime::from_millis(ms);
+        let reconstructed = t.day() * 86_400 + t.second_of_day();
+        prop_assert_eq!(reconstructed, t.as_secs());
+        prop_assert!(t.hour_of_day() < 24);
+        prop_assert!(t.hour_of_day_f64() < 24.0);
+        prop_assert_eq!(t.hour_of_day(), t.hour_of_day_f64() as u32);
+    }
+
+    #[test]
+    fn queue_is_stable_within_equal_times(
+        entries in proptest::collection::vec((0u64..100, any::<u16>()), 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &(t, tag)) in entries.iter().enumerate() {
+            q.push(SimTime::from_millis(t), (i, tag));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = 0usize;
+        while let Some((at, _, (idx, _))) = q.pop() {
+            popped += 1;
+            if let Some((pt, pidx)) = last {
+                prop_assert!(at >= pt, "time order violated");
+                if at == pt {
+                    prop_assert!(idx > pidx, "FIFO violated at equal timestamps");
+                }
+            }
+            last = Some((at, idx));
+        }
+        prop_assert_eq!(popped, entries.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Empirical distribution backed by a sorted sample.
+//!
+//! Used to replay measured distributions directly (e.g. driving a synthetic
+//! workload from an empirical CCDF instead of a fitted model — one of the
+//! ablation experiments compares the two).
+
+use crate::dist::Continuous;
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Empirical distribution of a finite sample, with linear interpolation
+/// between order statistics for the quantile function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+}
+
+impl Empirical {
+    /// Build from samples; requires at least one finite value.
+    pub fn new(mut samples: Vec<f64>) -> Result<Self, StatsError> {
+        samples.retain(|x| x.is_finite());
+        if samples.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ok(Empirical { sorted: samples })
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if (impossible by construction) the sample set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// The sorted sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl Continuous for Empirical {
+    fn pdf(&self, _x: f64) -> f64 {
+        // Density of a discrete sample is not defined; report 0. Fitting
+        // code uses histograms instead.
+        0.0
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        // Fraction of samples ≤ x via binary search (upper bound).
+        let n = self.sorted.len();
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / n as f64
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        // Linear interpolation over order statistics (type-7 quantile, the
+        // common spreadsheet/N-1 convention).
+        let h = p * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = (lo + 1).min(n - 1);
+        let w = h - lo as f64;
+        self.sorted[lo] * (1.0 - w) + self.sorted[hi] * w
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Empirical::new(vec![]).is_err());
+        assert!(Empirical::new(vec![f64::NAN, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn filters_non_finite() {
+        let e = Empirical::new(vec![1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn cdf_step_function() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let e = Empirical::new(vec![0.0, 10.0]).unwrap();
+        assert_eq!(e.quantile(0.0), 0.0);
+        assert_eq!(e.quantile(0.5), 5.0);
+        assert_eq!(e.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let e = Empirical::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+        assert_eq!(e.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn sampling_stays_within_range() {
+        use rand::SeedableRng;
+        let e = Empirical::new(vec![5.0, 7.0, 9.0, 11.0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for x in e.sample_n(&mut rng, 1_000) {
+            assert!((5.0..=11.0).contains(&x));
+        }
+    }
+}

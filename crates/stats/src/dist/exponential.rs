@@ -1,0 +1,123 @@
+//! Exponential distribution.
+//!
+//! Used as the inter-arrival law of the (piecewise-homogeneous) Poisson
+//! session-arrival process in the behavior model, and as a reference
+//! distribution in ablation experiments.
+
+use crate::dist::Continuous;
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Exponential distribution with rate `lambda` (`F(x) = 1 − e^(−λx)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Construct from rate λ > 0.
+    pub fn new(lambda: f64) -> Result<Self, StatsError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(StatsError::BadParameter {
+                name: "lambda",
+                value: lambda,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Exponential { lambda })
+    }
+
+    /// Construct from mean 1/λ > 0.
+    pub fn from_mean(mean: f64) -> Result<Self, StatsError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(StatsError::BadParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Rate parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Continuous for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.lambda * (-self.lambda * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        -(1.0 - p).ln() / self.lambda
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_continuous_invariants;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-2.0).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+        assert!(Exponential::from_mean(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn invariants() {
+        let d = Exponential::new(0.25).unwrap();
+        check_continuous_invariants(&d, &[0.0, 0.1, 1.0, 4.0, 20.0]);
+    }
+
+    #[test]
+    fn memorylessness() {
+        // P[X > s + t] = P[X > s] P[X > t].
+        let d = Exponential::new(0.7).unwrap();
+        let (s, t) = (1.3, 2.9);
+        assert!((d.ccdf(s + t) - d.ccdf(s) * d.ccdf(t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_mean_matches() {
+        let d = Exponential::from_mean(40.0).unwrap();
+        assert!((d.mean().unwrap() - 40.0).abs() < 1e-12);
+        assert!((d.lambda() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let d = Exponential::from_mean(10.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let xs = d.sample_n(&mut rng, 100_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.15);
+    }
+}

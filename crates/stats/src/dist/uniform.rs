@@ -1,0 +1,109 @@
+//! Continuous uniform distribution over a closed interval.
+//!
+//! Primarily used for jittering within histogram bins and as a neutral
+//! baseline in ablation experiments.
+
+use crate::dist::Continuous;
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Uniform distribution over `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Construct; requires `lo < hi` and both finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, StatsError> {
+        if !lo.is_finite() {
+            return Err(StatsError::BadParameter {
+                name: "lo",
+                value: lo,
+                constraint: "must be finite",
+            });
+        }
+        if !(hi.is_finite() && hi > lo) {
+            return Err(StatsError::BadParameter {
+                name: "hi",
+                value: hi,
+                constraint: "must be finite and > lo",
+            });
+        }
+        Ok(UniformRange { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl Continuous for UniformRange {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            1.0 / self.width()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / self.width()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        self.lo + p * self.width()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(0.5 * (self.lo + self.hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_continuous_invariants;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(UniformRange::new(1.0, 1.0).is_err());
+        assert!(UniformRange::new(2.0, 1.0).is_err());
+        assert!(UniformRange::new(f64::NEG_INFINITY, 1.0).is_err());
+        assert!(UniformRange::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn invariants() {
+        let d = UniformRange::new(2.0, 8.0).unwrap();
+        check_continuous_invariants(&d, &[1.0, 2.0, 3.5, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn mean_and_bounds() {
+        let d = UniformRange::new(-4.0, 10.0).unwrap();
+        assert_eq!(d.mean(), Some(3.0));
+        assert_eq!(d.quantile(0.0), -4.0);
+        assert_eq!(d.quantile(1.0), 10.0);
+        assert_eq!(d.width(), 14.0);
+    }
+}

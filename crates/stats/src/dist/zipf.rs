@@ -1,0 +1,398 @@
+//! Zipf-like rank distributions.
+//!
+//! Query popularity in the paper follows a Zipf-like law per day and per
+//! geographic query class: `p(r) ∝ r^(−α)` over ranks `1..=n`, with the
+//! paper's fitted exponents αNA = 0.386, αE = 0.223 (Figure 11 a, b). The
+//! NA∩EU intersection class has a *flattened head* fit by two pieces
+//! (α = 0.453 for ranks 1–45, α = 4.67 for ranks 46–100, Figure 11 c) —
+//! [`TwoPieceZipf`] implements that.
+
+use crate::dist::Discrete;
+use crate::error::StatsError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Zipf-like distribution over ranks `1..=n` with exponent `alpha ≥ 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    alpha: f64,
+    n: u64,
+    /// Cumulative probability table, `cum[k] = P[R ≤ k+1]`; kept private and
+    /// rebuilt on deserialization.
+    #[serde(skip)]
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// Construct a Zipf-like law over `1..=n` ranks with exponent `alpha`.
+    pub fn new(alpha: f64, n: u64) -> Result<Self, StatsError> {
+        if !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(StatsError::BadParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if n == 0 {
+            return Err(StatsError::BadParameter {
+                name: "n",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+        let mut z = Zipf {
+            alpha,
+            n,
+            cum: Vec::new(),
+        };
+        z.build_table();
+        Ok(z)
+    }
+
+    fn build_table(&mut self) {
+        let mut cum = Vec::with_capacity(self.n as usize);
+        let mut total = 0.0;
+        for r in 1..=self.n {
+            total += (r as f64).powf(-self.alpha);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        self.cum = cum;
+    }
+
+    /// Rebuild internal tables (needed after `serde` deserialization, which
+    /// skips the cached cumulative table).
+    pub fn rebuild(&mut self) {
+        self.build_table();
+    }
+
+    /// Exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of ranks n.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn table(&self) -> &[f64] {
+        debug_assert!(
+            !self.cum.is_empty(),
+            "Zipf table missing — call rebuild() after deserialization"
+        );
+        &self.cum
+    }
+}
+
+impl Discrete for Zipf {
+    fn pmf(&self, k: u64) -> f64 {
+        if k == 0 || k > self.n {
+            return 0.0;
+        }
+        let t = self.table();
+        let i = (k - 1) as usize;
+        if i == 0 {
+            t[0]
+        } else {
+            t[i] - t[i - 1]
+        }
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let t = self.table();
+        let i = (k.min(self.n) - 1) as usize;
+        t[i]
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let t = self.table();
+        // First index with cum ≥ u.
+        match t.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => (i + 1) as u64,
+            Err(i) => (i.min(t.len() - 1) + 1) as u64,
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        let t = self.table();
+        let mut m = 0.0;
+        let mut prev = 0.0;
+        for (i, &c) in t.iter().enumerate() {
+            m += (i as f64 + 1.0) * (c - prev);
+            prev = c;
+        }
+        Some(m)
+    }
+}
+
+/// Two-piece Zipf-like distribution: exponent `alpha_body` for ranks
+/// `1..=break_rank` and `alpha_tail` beyond, with the tail piece scaled so
+/// the pmf is continuous at the break (matching the paper's Figure 11(c)
+/// fitting convention).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoPieceZipf {
+    alpha_body: f64,
+    alpha_tail: f64,
+    break_rank: u64,
+    n: u64,
+    #[serde(skip)]
+    cum: Vec<f64>,
+}
+
+impl TwoPieceZipf {
+    /// Construct over ranks `1..=n` with a break after `break_rank`.
+    pub fn new(alpha_body: f64, alpha_tail: f64, break_rank: u64, n: u64) -> Result<Self, StatsError> {
+        if !(alpha_body.is_finite() && alpha_body >= 0.0) {
+            return Err(StatsError::BadParameter {
+                name: "alpha_body",
+                value: alpha_body,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if !(alpha_tail.is_finite() && alpha_tail >= 0.0) {
+            return Err(StatsError::BadParameter {
+                name: "alpha_tail",
+                value: alpha_tail,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if break_rank == 0 || break_rank >= n {
+            return Err(StatsError::BadParameter {
+                name: "break_rank",
+                value: break_rank as f64,
+                constraint: "must satisfy 1 <= break_rank < n",
+            });
+        }
+        let mut z = TwoPieceZipf {
+            alpha_body,
+            alpha_tail,
+            break_rank,
+            n,
+            cum: Vec::new(),
+        };
+        z.build_table();
+        Ok(z)
+    }
+
+    fn unnormalized_weight(&self, r: u64) -> f64 {
+        if r <= self.break_rank {
+            (r as f64).powf(-self.alpha_body)
+        } else {
+            // Continuity at the break: scale the tail so both pieces agree
+            // at r = break_rank.
+            let b = self.break_rank as f64;
+            let scale = b.powf(-self.alpha_body) / b.powf(-self.alpha_tail);
+            scale * (r as f64).powf(-self.alpha_tail)
+        }
+    }
+
+    fn build_table(&mut self) {
+        let mut cum = Vec::with_capacity(self.n as usize);
+        let mut total = 0.0;
+        for r in 1..=self.n {
+            total += self.unnormalized_weight(r);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        self.cum = cum;
+    }
+
+    /// Rebuild internal tables after deserialization.
+    pub fn rebuild(&mut self) {
+        self.build_table();
+    }
+
+    /// Body exponent (ranks ≤ break).
+    pub fn alpha_body(&self) -> f64 {
+        self.alpha_body
+    }
+
+    /// Tail exponent (ranks > break).
+    pub fn alpha_tail(&self) -> f64 {
+        self.alpha_tail
+    }
+
+    /// The break rank.
+    pub fn break_rank(&self) -> u64 {
+        self.break_rank
+    }
+
+    /// Number of ranks n.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn table(&self) -> &[f64] {
+        debug_assert!(!self.cum.is_empty(), "call rebuild() after deserialization");
+        &self.cum
+    }
+}
+
+impl Discrete for TwoPieceZipf {
+    fn pmf(&self, k: u64) -> f64 {
+        if k == 0 || k > self.n {
+            return 0.0;
+        }
+        let t = self.table();
+        let i = (k - 1) as usize;
+        if i == 0 {
+            t[0]
+        } else {
+            t[i] - t[i - 1]
+        }
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let t = self.table();
+        t[(k.min(self.n) - 1) as usize]
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let t = self.table();
+        match t.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => (i + 1) as u64,
+            Err(i) => (i.min(t.len() - 1) + 1) as u64,
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        let t = self.table();
+        let mut m = 0.0;
+        let mut prev = 0.0;
+        for (i, &c) in t.iter().enumerate() {
+            m += (i as f64 + 1.0) * (c - prev);
+            prev = c;
+        }
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(-0.1, 10).is_err());
+        assert!(Zipf::new(1.0, 0).is_err());
+        assert!(Zipf::new(f64::NAN, 10).is_err());
+        assert!(TwoPieceZipf::new(0.453, 4.67, 0, 100).is_err());
+        assert!(TwoPieceZipf::new(0.453, 4.67, 100, 100).is_err());
+        assert!(TwoPieceZipf::new(-1.0, 4.67, 45, 100).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(0.386, 100).unwrap();
+        let total: f64 = (1..=100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((z.cdf(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_ratio_follows_power_law() {
+        // p(1)/p(10) = 10^α.
+        let z = Zipf::new(0.386, 1000).unwrap();
+        let r = z.pmf(1) / z.pmf(10);
+        assert!((r - 10f64.powf(0.386)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(0.0, 50).unwrap();
+        for r in 1..=50 {
+            assert!((z.pmf(r) - 0.02).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(0.386, 100).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut counts = vec![0usize; 101];
+        let n = 200_000;
+        for _ in 0..n {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+            counts[r as usize] += 1;
+        }
+        for r in [1u64, 2, 10, 50, 100] {
+            let emp = counts[r as usize] as f64 / n as f64;
+            let theo = z.pmf(r);
+            assert!(
+                (emp - theo).abs() < 0.004,
+                "rank {r}: empirical {emp} vs pmf {theo}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_piece_flattened_head_shape() {
+        // Paper Fig 11(c): body α = 0.453 (ranks 1–45), tail α = 4.67.
+        let z = TwoPieceZipf::new(0.453, 4.67, 45, 100).unwrap();
+        let total: f64 = (1..=100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Body obeys the body exponent.
+        let r_body = z.pmf(1) / z.pmf(10);
+        assert!((r_body - 10f64.powf(0.453)).abs() < 1e-9);
+        // Tail decays much faster than the body.
+        let r_tail = z.pmf(50) / z.pmf(100);
+        assert!((r_tail - 2f64.powf(4.67)).abs() < 1e-6);
+        // Continuity at the break: pmf(45) / pmf(46) close to the body ratio.
+        let jump = z.pmf(45) / z.pmf(46);
+        assert!(jump < 1.2, "pmf should be continuous at the break, got jump {jump}");
+    }
+
+    #[test]
+    fn two_piece_sampling_in_range() {
+        let z = TwoPieceZipf::new(0.453, 4.67, 45, 100).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut tail_hits = 0usize;
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+            if r > 45 {
+                tail_hits += 1;
+            }
+        }
+        // The steep tail should capture a small but nonzero share.
+        assert!(tail_hits > 0);
+        assert!((tail_hits as f64 / 10_000.0) < 0.5);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds() {
+        let z = Zipf::new(0.386, 100).unwrap();
+        let s = serde_json::to_string(&z).unwrap();
+        let mut back: Zipf = serde_json::from_str(&s).unwrap();
+        back.rebuild();
+        assert!((back.pmf(1) - z.pmf(1)).abs() < 1e-12);
+
+        let z2 = TwoPieceZipf::new(0.453, 4.67, 45, 100).unwrap();
+        let s2 = serde_json::to_string(&z2).unwrap();
+        let mut back2: TwoPieceZipf = serde_json::from_str(&s2).unwrap();
+        back2.rebuild();
+        assert!((back2.pmf(46) - z2.pmf(46)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_sane() {
+        let z = Zipf::new(1.0, 10).unwrap();
+        let m = z.mean().unwrap();
+        assert!(m > 1.0 && m < 10.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared by all statistics routines.
+
+use std::fmt;
+
+/// Errors produced by distribution construction, fitting, and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was outside its legal domain.
+    BadParameter {
+        /// Parameter name as used in the paper / docs (e.g. `sigma`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be > 0"`.
+        constraint: &'static str,
+    },
+    /// The input sample set was empty or too small for the operation.
+    NotEnoughData {
+        /// Number of samples required.
+        needed: usize,
+        /// Number of samples provided.
+        got: usize,
+    },
+    /// An input sample violated the distribution's support.
+    BadSample {
+        /// Offending value.
+        value: f64,
+        /// Why it is invalid.
+        reason: &'static str,
+    },
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed.
+        what: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A probability argument was outside `[0, 1]`.
+    BadProbability(f64),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::BadParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter `{name}` = {value} invalid: {constraint}"),
+            StatsError::NotEnoughData { needed, got } => {
+                write!(f, "not enough data: needed {needed}, got {got}")
+            }
+            StatsError::BadSample { value, reason } => {
+                write!(f, "invalid sample {value}: {reason}")
+            }
+            StatsError::NoConvergence { what, iterations } => {
+                write!(f, "`{what}` failed to converge after {iterations} iterations")
+            }
+            StatsError::BadProbability(p) => {
+                write!(f, "probability {p} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StatsError::BadParameter {
+            name: "sigma",
+            value: -1.0,
+            constraint: "must be > 0",
+        };
+        assert!(e.to_string().contains("sigma"));
+        assert!(e.to_string().contains("must be > 0"));
+
+        let e = StatsError::NotEnoughData { needed: 2, got: 0 };
+        assert!(e.to_string().contains("needed 2"));
+
+        let e = StatsError::NoConvergence {
+            what: "weibull_mle",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("weibull_mle"));
+
+        let e = StatsError::BadProbability(1.5);
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Statistics substrate for the P2P query-workload reproduction.
+//!
+//! This crate implements, from scratch, every piece of statistical machinery
+//! the paper's characterization methodology relies on:
+//!
+//! * **Distributions** ([`dist`]): lognormal, Weibull, Pareto, exponential,
+//!   Zipf-like, two-piece Zipf, body‖tail bimodal composites, truncated
+//!   wrappers and empirical distributions. All continuous distributions
+//!   sample through their quantile function, so a single uniform draw maps
+//!   deterministically to a variate — convenient for reproducibility and for
+//!   property tests.
+//! * **Fitting** ([`fit`]): maximum-likelihood estimators for lognormal,
+//!   Weibull and Pareto parameters, log-log least-squares Zipf fitting
+//!   (including the paper's two-piece "flattened head" variant), and a
+//!   split-fit helper for the paper's body/tail bimodal models.
+//! * **Empirical summaries**: [`ecdf::Ecdf`] (CDF/CCDF/quantiles),
+//!   [`histogram`] (linear, logarithmic and time-of-day binning),
+//!   [`summary::Summary`] (streaming moments).
+//! * **Hypothesis tests and association**: [`ks`] (one- and two-sample
+//!   Kolmogorov–Smirnov) and [`correlation`] (Pearson, Spearman).
+//! * **Special functions** ([`special`]): `erf`, inverse normal CDF and
+//!   `ln Γ`, implemented with standard numeric approximations.
+//!
+//! The crate is deliberately dependency-light (only `rand` for uniform bits
+//! and `serde` for (de)serializing fitted models).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+// `!(hi > lo)`-style guards are deliberate: the negated comparison is the
+// one form that also rejects NaN bounds, which `hi <= lo` would let through.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod correlation;
+pub mod dist;
+pub mod ecdf;
+pub mod error;
+pub mod fit;
+pub mod histogram;
+pub mod ks;
+pub mod regression;
+pub mod rng;
+pub mod series;
+pub mod special;
+pub mod summary;
+
+pub use dist::{Continuous, Discrete};
+pub use ecdf::Ecdf;
+pub use error::StatsError;
+pub use series::Series;
+pub use summary::Summary;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StatsError>;

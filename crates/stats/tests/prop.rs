@@ -1,0 +1,123 @@
+//! Property tests for the statistics substrate.
+
+use proptest::prelude::*;
+use stats::dist::{Continuous, Exponential, Lognormal, Pareto, Truncated, UniformRange, Weibull};
+use stats::histogram::Histogram;
+use stats::rng::SeedSequence;
+use stats::{Ecdf, Summary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    // ---- distribution laws --------------------------------------------
+
+    #[test]
+    fn lognormal_ccdf_complements_cdf(mu in -4.0f64..6.0, sigma in 0.1f64..3.5, x in 0.0f64..1e6) {
+        let d = Lognormal::new(mu, sigma).unwrap();
+        prop_assert!((d.cdf(x) + d.ccdf(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_memoryless(lambda in 1e-3f64..10.0, s in 0.0f64..50.0, t in 0.0f64..50.0) {
+        let d = Exponential::new(lambda).unwrap();
+        let lhs = d.ccdf(s + t);
+        let rhs = d.ccdf(s) * d.ccdf(t);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn pareto_tail_ratio_is_power_law(alpha in 0.2f64..4.0, beta in 1.0f64..500.0, k in 1.5f64..20.0) {
+        let d = Pareto::new(alpha, beta).unwrap();
+        let x = beta * 2.0;
+        let ratio = d.ccdf(x) / d.ccdf(x * k);
+        prop_assert!((ratio - k.powf(alpha)).abs() < 1e-6 * ratio.max(1.0));
+    }
+
+    #[test]
+    fn truncated_stays_in_window(
+        mu in 0.0f64..5.0,
+        sigma in 0.3f64..2.5,
+        lo in 1.0f64..50.0,
+        width in 10.0f64..1000.0,
+        p in 0.0f64..1.0,
+    ) {
+        let d = Lognormal::new(mu, sigma).unwrap();
+        if let Ok(t) = Truncated::new(d, lo, lo + width) {
+            let q = t.quantile(p);
+            prop_assert!(q >= lo - 1e-9 && q <= lo + width + 1e-9, "q = {q}");
+            prop_assert!(t.cdf(lo) == 0.0);
+            prop_assert!((t.cdf(lo + width) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weibull_cdf_monotone(alpha in 0.2f64..5.0, lambda in 1e-5f64..1.0, a in 0.0f64..1e4, b in 0.0f64..1e4) {
+        let d = Weibull::new(alpha, lambda).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn uniform_quantile_is_linear(lo in -100.0f64..100.0, width in 0.1f64..100.0, p in 0.0f64..1.0) {
+        let d = UniformRange::new(lo, lo + width).unwrap();
+        prop_assert!((d.quantile(p) - (lo + p * width)).abs() < 1e-9);
+    }
+
+    // ---- empirical structures -----------------------------------------
+
+    #[test]
+    fn ecdf_bounds_and_monotonicity(mut xs in proptest::collection::vec(-1e4f64..1e4, 1..200)) {
+        let e = Ecdf::new(xs.clone()).unwrap();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(e.cdf(xs[0] - 1.0), 0.0);
+        prop_assert_eq!(e.cdf(xs[xs.len() - 1]), 1.0);
+        // Quantiles stay within the sample range.
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let q = e.quantile(p);
+            prop_assert!(q >= xs[0] - 1e-9 && q <= xs[xs.len() - 1] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_merge_matches_bulk(
+        a in proptest::collection::vec(-1e5f64..1e5, 0..100),
+        b in proptest::collection::vec(-1e5f64..1e5, 0..100),
+    ) {
+        let mut merged = Summary::of(&a);
+        merged.merge(&Summary::of(&b));
+        let mut all = a.clone();
+        all.extend(&b);
+        let bulk = Summary::of(&all);
+        prop_assert_eq!(merged.count(), bulk.count());
+        if bulk.count() > 0 {
+            prop_assert!((merged.mean() - bulk.mean()).abs() < 1e-6 * (1.0 + bulk.mean().abs()));
+        }
+        if bulk.count() > 1 {
+            prop_assert!((merged.variance() - bulk.variance()).abs() < 1e-5 * (1.0 + bulk.variance()));
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_observations(xs in proptest::collection::vec(-50.0f64..150.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        for &x in &xs {
+            h.add(x);
+        }
+        let (under, over) = h.out_of_range();
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + under + over, xs.len() as u64);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    // ---- RNG plumbing ---------------------------------------------------
+
+    #[test]
+    fn seed_sequence_deterministic_and_label_sensitive(root in any::<u64>(), label in "[a-z]{1,12}") {
+        let a = SeedSequence::new(root);
+        let b = SeedSequence::new(root);
+        prop_assert_eq!(a.derive_seed(&label), b.derive_seed(&label));
+        // A different label yields a different seed (collisions are 2^-64).
+        let other = format!("{label}x");
+        prop_assert_ne!(a.derive_seed(&label), a.derive_seed(&other));
+    }
+}

@@ -1,0 +1,30 @@
+//! Passive measurement and trace handling.
+//!
+//! This crate is the reproduction of the paper's §3 measurement setup:
+//!
+//! * [`collector::MeasurementPeer`] — a passive ultrapeer `simnet` actor
+//!   that accepts up to 200 simultaneous connections, performs the 0.6
+//!   handshake (recording `User-Agent` and `X-Ultrapeer`), participates in
+//!   routing (GUID table, TTL/hops forwarding, QUERYHIT reverse routing)
+//!   without ever *originating* queries, applies the 15 s + 15 s idle-probe
+//!   policy, and logs every received message;
+//! * [`record`] — the trace record types (connections and messages);
+//! * [`store::Trace`] — in-memory trace with JSONL (de)serialization;
+//! * [`session`] — reconstruction of per-session views (the unit of
+//!   analysis in §4);
+//! * [`stats`] — Table 1-style overall trace characteristics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collector;
+pub mod record;
+pub mod session;
+pub mod stats;
+pub mod store;
+
+pub use collector::{CollectorConfig, MeasurementPeer};
+pub use record::{ConnectionRecord, MessageRecord, RecordedPayload, SessionId};
+pub use session::{SessionView, Sessions};
+pub use stats::TraceStats;
+pub use store::Trace;

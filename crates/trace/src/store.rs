@@ -1,0 +1,180 @@
+//! In-memory trace store with JSONL (de)serialization.
+
+use crate::record::{ConnectionRecord, MessageRecord, SessionId};
+use crate::stats::TraceStats;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// A complete measurement trace: connection records plus message records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// One record per direct connection, indexed by [`SessionId`].
+    pub connections: Vec<ConnectionRecord>,
+    /// All received messages, in arrival order.
+    pub messages: Vec<MessageRecord>,
+}
+
+/// One line of the JSONL interchange format.
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(tag = "t", rename_all = "snake_case")]
+enum TraceLine {
+    Conn(ConnectionRecord),
+    Msg(MessageRecord),
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Look up a connection record.
+    pub fn connection(&self, id: SessionId) -> Option<&ConnectionRecord> {
+        self.connections.get(id.0 as usize)
+    }
+
+    /// Overall characteristics (the Table 1 reproduction).
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+
+    /// Serialize as JSON lines: connection records first, then messages.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for c in &self.connections {
+            serde_json::to_writer(&mut w, &TraceLine::Conn(c.clone()))?;
+            w.write_all(b"\n")?;
+        }
+        for m in &self.messages {
+            serde_json::to_writer(&mut w, &TraceLine::Msg(m.clone()))?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Read back a JSONL trace.
+    ///
+    /// Connection records are re-indexed by their embedded [`SessionId`];
+    /// message order is preserved.
+    pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Trace> {
+        let mut connections: Vec<Option<ConnectionRecord>> = Vec::new();
+        let mut messages = Vec::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed: TraceLine = serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            match parsed {
+                TraceLine::Conn(c) => {
+                    let idx = c.id.0 as usize;
+                    if connections.len() <= idx {
+                        connections.resize(idx + 1, None);
+                    }
+                    connections[idx] = Some(c);
+                }
+                TraceLine::Msg(m) => messages.push(m),
+            }
+        }
+        let connections = connections
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                c.ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("missing connection record for session {i}"),
+                    )
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Trace {
+            connections,
+            messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordedPayload;
+    use simnet::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn test_guid() -> gnutella::Guid {
+        gnutella::Guid([7; 16])
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..3u64 {
+            t.connections.push(ConnectionRecord {
+                id: SessionId(i),
+                addr: Ipv4Addr::new(24, 0, 0, i as u8 + 1),
+                user_agent: format!("Client/{i}"),
+                ultrapeer: i % 2 == 0,
+                start: SimTime::from_secs(i * 100),
+                end: Some(SimTime::from_secs(i * 100 + 70)),
+                closed_by_probe: i == 2,
+            });
+            t.messages.push(MessageRecord {
+                session: SessionId(i),
+                guid: test_guid(),
+                at: SimTime::from_secs(i * 100 + 5),
+                hops: 1,
+                ttl: 6,
+                payload: RecordedPayload::Query {
+                    text: format!("song {i}"),
+                    sha1: false,
+                },
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn read_tolerates_blank_lines_and_reorders_connections() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        // Shuffle: put messages before connections and add blank lines.
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.reverse();
+        let shuffled = format!("\n{}\n\n", lines.join("\n\n"));
+        let back = Trace::read_jsonl(shuffled.as_bytes()).unwrap();
+        assert_eq!(back.connections, t.connections);
+        assert_eq!(back.messages.len(), t.messages.len());
+    }
+
+    #[test]
+    fn read_rejects_gap_in_sessions() {
+        let mut t = sample_trace();
+        t.connections.remove(1);
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        assert!(Trace::read_jsonl(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(Trace::read_jsonl("not json\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn connection_lookup() {
+        let t = sample_trace();
+        assert_eq!(t.connection(SessionId(1)).unwrap().user_agent, "Client/1");
+        assert!(t.connection(SessionId(99)).is_none());
+    }
+}

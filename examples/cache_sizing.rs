@@ -1,0 +1,129 @@
+//! Cache sizing: use the synthetic workload to evaluate query-result
+//! caching at an ultrapeer.
+//!
+//! §4.6 observes that the fitted Zipf exponents are much smaller than
+//! prior work reported *because* automated re-queries were filtered out —
+//! and concludes that "caching of responses will be more effective in
+//! systems that use aggressive automated re-query features than in
+//! systems that only issue queries on the user's action." This example
+//! quantifies that: an LRU result cache is driven by (a) the paper's
+//! user-behavior workload and (b) the same workload with client re-query
+//! automation layered back on, across cache sizes.
+//!
+//! ```text
+//! cargo run --release -p p2pq-examples --bin cache_sizing
+//! ```
+
+use p2pq::{GeneratorConfig, WorkloadEvent, WorkloadGenerator, WorkloadModel};
+use simnet::SimTime;
+use std::collections::HashMap;
+
+/// A minimal LRU cache over query identities.
+struct Lru {
+    cap: usize,
+    clock: u64,
+    map: HashMap<(usize, u64), u64>, // (class, item) -> last use
+}
+
+impl Lru {
+    fn new(cap: usize) -> Lru {
+        Lru {
+            cap,
+            clock: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Returns true on hit.
+    fn access(&mut self, key: (usize, u64)) -> bool {
+        self.clock += 1;
+        let hit = self.map.contains_key(&key);
+        self.map.insert(key, self.clock);
+        if self.map.len() > self.cap {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, &t)| t) {
+                self.map.remove(&victim);
+            }
+        }
+        hit
+    }
+}
+
+/// Generate a stream of query keys from the user-behavior model; if
+/// `requery_factor > 1`, each user query is replayed that many times
+/// (spread through the stream) to emulate aggressive client re-querying.
+fn query_stream(seed: u64, hours: u64, requery_factor: usize) -> Vec<(usize, u64)> {
+    let model = WorkloadModel::paper_default();
+    let mut generator = WorkloadGenerator::new(
+        &model,
+        GeneratorConfig {
+            n_peers: 250,
+            seed,
+            fixed_hour: Some(20),
+            ..GeneratorConfig::default()
+        },
+    );
+    let mut keys = Vec::new();
+    for ev in generator.events_until(SimTime::from_secs(hours * 3600)) {
+        if let WorkloadEvent::Query { query, .. } = ev {
+            for _ in 0..requery_factor {
+                keys.push((query.class.index(), query.item));
+            }
+        }
+    }
+    // Interleave the replicas rather than clustering them: a deterministic
+    // stride shuffle stands in for the re-query timers.
+    if requery_factor > 1 {
+        let n = keys.len();
+        let mut out = Vec::with_capacity(n);
+        let stride = 7usize;
+        for start in 0..stride {
+            let mut i = start;
+            while i < n {
+                out.push(keys[i]);
+                i += stride;
+            }
+        }
+        keys = out;
+    }
+    keys
+}
+
+fn main() {
+    println!("LRU query-result cache hit rates (6 h of workload, 250 peers)\n");
+    println!(
+        "{:>12} | {:>16} | {:>22}",
+        "cache size", "user-only hit %", "with 3x re-query hit %"
+    );
+    println!("{:-<12}-+-{:-<16}-+-{:-<22}", "", "", "");
+    let user = query_stream(5, 6, 1);
+    let requery = query_stream(5, 6, 3);
+    println!(
+        "(user-only stream: {} queries; re-query stream: {} queries)\n",
+        user.len(),
+        requery.len()
+    );
+    for cap in [8usize, 32, 128, 512, 2048] {
+        let rate = |stream: &[(usize, u64)]| {
+            let mut lru = Lru::new(cap);
+            let mut hits = 0usize;
+            for &k in stream {
+                if lru.access(k) {
+                    hits += 1;
+                }
+            }
+            100.0 * hits as f64 / stream.len().max(1) as f64
+        };
+        println!(
+            "{:>12} | {:>15.1}% | {:>21.1}%",
+            cap,
+            rate(&user),
+            rate(&requery)
+        );
+    }
+    println!(
+        "\nAs §4.6 predicts: automated re-queries inflate cache effectiveness;\n\
+         the filtered user workload (small Zipf α) caches far less well, so\n\
+         capacity planning on unfiltered traces overestimates cache benefit."
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: generate a synthetic P2P query workload with the paper's
+//! default model and summarize what came out.
+//!
+//! ```text
+//! cargo run -p p2pq-examples --bin quickstart
+//! ```
+
+use geoip::Region;
+use p2pq::{collect_sessions, GeneratorConfig, WorkloadEvent, WorkloadGenerator, WorkloadModel};
+use simnet::SimTime;
+
+fn main() {
+    // The complete conditional model of Klemm et al., appendix defaults.
+    let model = WorkloadModel::paper_default();
+
+    // A steady population of 200 peers, evaluated (as in §4.7) for a fixed
+    // time of day — 20:00 at the measurement node, the joint NA+EU peak.
+    let cfg = GeneratorConfig {
+        n_peers: 200,
+        seed: 42,
+        fixed_hour: Some(20),
+        ..GeneratorConfig::default()
+    };
+    let mut generator = WorkloadGenerator::new(&model, cfg);
+
+    // Generate six simulated hours of workload.
+    let events = generator.events_until(SimTime::from_secs(6 * 3600));
+    println!("generated {} events over 6 simulated hours", events.len());
+    println!("sessions started: {}", generator.sessions_started());
+
+    // Basic composition.
+    let queries = events
+        .iter()
+        .filter(|e| matches!(e, WorkloadEvent::Query { .. }))
+        .count();
+    let sessions = collect_sessions(events.iter().copied());
+    println!("completed sessions: {}", sessions.len());
+    println!("queries issued:     {queries}");
+
+    // Passive fraction (paper: ≈80 %).
+    let passive = sessions.iter().filter(|s| s.is_passive()).count();
+    println!(
+        "passive fraction:   {:.1} %  (paper: ~80 %)",
+        100.0 * passive as f64 / sessions.len() as f64
+    );
+
+    // Regional mix (paper Figure 1, 20:00: ≈71 % NA / 18 % EU / 5 % Asia).
+    for region in Region::ALL {
+        let n = sessions.iter().filter(|s| s.region == region).count();
+        println!(
+            "  {:<14} {:>5.1} % of sessions",
+            region.name(),
+            100.0 * n as f64 / sessions.len() as f64
+        );
+    }
+
+    // Queries per active session (paper Figure 6(a)).
+    for region in Region::CHARACTERIZED {
+        let counts: Vec<usize> = sessions
+            .iter()
+            .filter(|s| s.region == region && !s.is_passive())
+            .map(|s| s.query_times.len())
+            .collect();
+        if counts.is_empty() {
+            continue;
+        }
+        let lt5 = counts.iter().filter(|&&c| c < 5).count() as f64 / counts.len() as f64;
+        println!(
+            "  {:<14} {:>4.0} % of active sessions issue < 5 queries",
+            region.name(),
+            100.0 * lt5
+        );
+    }
+    println!("(paper Figure 6(a): Asia 92 %, North America 80 %, Europe 70 %)");
+}

@@ -1,0 +1,14 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use behavior::PopulationConfig;
+
+/// A medium-sized population config shared by the integration tests:
+/// large enough for stable statistics, small enough for CI turnaround.
+pub fn it_population() -> PopulationConfig {
+    PopulationConfig {
+        seed: 20_040_315, // the trace start date, 2004-03-15
+        days: 0.5,
+        sessions_per_day: 16_000.0,
+        ..PopulationConfig::default()
+    }
+}
