@@ -204,9 +204,13 @@ mod tests {
         // Hour 3 is NA peak.
         let ft = ft_from_delays(Region::NorthAmerica, 3, &delays, 2);
         let diurnal = DiurnalModel::paper_default();
-        let fit = fit_first_query(&ft, Region::NorthAmerica, true, CountClass::Lt3, &diurnal)
-            .unwrap();
-        assert!((fit.body_weight - 0.5).abs() < 0.03, "w {}", fit.body_weight);
+        let fit =
+            fit_first_query(&ft, Region::NorthAmerica, true, CountClass::Lt3, &diurnal).unwrap();
+        assert!(
+            (fit.body_weight - 0.5).abs() < 0.03,
+            "w {}",
+            fit.body_weight
+        );
         match fit.body {
             stats::fit::SideFit::Weibull(w) => {
                 assert!(w.alpha() > 1.1 && w.alpha() < 2.2, "alpha {}", w.alpha());

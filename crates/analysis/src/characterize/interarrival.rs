@@ -23,11 +23,7 @@ pub enum CountClass {
 
 impl CountClass {
     /// All classes.
-    pub const ALL: [CountClass; 3] = [
-        CountClass::Two,
-        CountClass::ThreeToSeven,
-        CountClass::Gt7,
-    ];
+    pub const ALL: [CountClass; 3] = [CountClass::Two, CountClass::ThreeToSeven, CountClass::Gt7];
 
     /// Classify a session's query count (sessions with < 2 queries have no
     /// interarrival samples).
@@ -171,9 +167,12 @@ mod tests {
         // Hour 3 = NA peak.
         let ft = ft_from_model(Region::NorthAmerica, 3, 6_000);
         let diurnal = DiurnalModel::paper_default();
-        let fit =
-            fit_interarrival(&ft, Region::NorthAmerica, true, &diurnal).unwrap();
-        assert!((fit.body_weight - 0.70).abs() < 0.05, "w {}", fit.body_weight);
+        let fit = fit_interarrival(&ft, Region::NorthAmerica, true, &diurnal).unwrap();
+        assert!(
+            (fit.body_weight - 0.70).abs() < 0.05,
+            "w {}",
+            fit.body_weight
+        );
         match fit.tail {
             stats::fit::SideFit::Pareto(p) => {
                 assert!((p.alpha() - 0.9041).abs() < 0.12, "alpha {}", p.alpha());

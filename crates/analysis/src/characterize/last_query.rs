@@ -189,14 +189,18 @@ mod tests {
         assert_eq!(ModelClass::of(20), Some(ModelClass::Gt7));
     }
 
-    fn ft_with_tail_times(region: Region, hour: u32, tails: &[f64], n_queries: u32) -> FilteredTrace {
+    fn ft_with_tail_times(
+        region: Region,
+        hour: u32,
+        tails: &[f64],
+        n_queries: u32,
+    ) -> FilteredTrace {
         let sessions = tails
             .iter()
             .enumerate()
             .map(|(i, &t)| {
                 // Queries at 100, 130, …; session ends `t` after the last.
-                let offsets: Vec<u64> =
-                    (0..n_queries).map(|k| 100 + u64::from(k) * 30).collect();
+                let offsets: Vec<u64> = (0..n_queries).map(|k| 100 + u64::from(k) * 30).collect();
                 let last = *offsets.last().unwrap();
                 session(
                     region,
@@ -235,14 +239,10 @@ mod tests {
         assert!((fit.mu() - 5.686).abs() < 0.1, "mu {}", fit.mu());
         assert!((fit.sigma() - 2.259).abs() < 0.1, "sigma {}", fit.sigma());
         // The wrong class has no samples.
-        assert!(fit_time_after_last(
-            &ft,
-            Region::NorthAmerica,
-            true,
-            ModelClass::One,
-            &diurnal
-        )
-        .is_err());
+        assert!(
+            fit_time_after_last(&ft, Region::NorthAmerica, true, ModelClass::One, &diurnal)
+                .is_err()
+        );
     }
 
     #[test]

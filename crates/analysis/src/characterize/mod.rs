@@ -55,7 +55,7 @@ pub(crate) fn in_period(
 pub(crate) mod test_util {
     use crate::filter::{FilteredQuery, FilteredSession};
     use geoip::Region;
-    use gnutella::QueryKey;
+    use gnutella::QueryId;
     use simnet::SimTime;
 
     /// Build a synthetic filtered session.
@@ -76,7 +76,7 @@ pub(crate) mod test_util {
                 .enumerate()
                 .map(|(i, &off)| FilteredQuery {
                     at: SimTime::from_secs(start_s + off),
-                    key: QueryKey::new(&format!("q{i} word{i}")),
+                    key: QueryId::canonical_of(&format!("q{i} word{i}")),
                     flagged45: false,
                 })
                 .collect(),

@@ -25,7 +25,13 @@ pub fn duration_ccdf_by_region(ft: &FilteredTrace) -> Vec<Series> {
     Region::CHARACTERIZED
         .iter()
         .filter_map(|&r| {
-            ccdf_series(r.name(), passive_durations_min(ft, r), LO_MIN, HI_MIN, POINTS)
+            ccdf_series(
+                r.name(),
+                passive_durations_min(ft, r),
+                LO_MIN,
+                HI_MIN,
+                POINTS,
+            )
         })
         .collect()
 }
@@ -118,7 +124,12 @@ mod tests {
         let sessions = (0..n)
             .map(|i| {
                 let dur = d.sample(&mut rng) as u64;
-                session(region, u64::from(hour) * 3600 + i as u64 % 3000, dur.max(64), &[])
+                session(
+                    region,
+                    u64::from(hour) * 3600 + i as u64 % 3000,
+                    dur.max(64),
+                    &[],
+                )
             })
             .collect();
         FilteredTrace {
@@ -145,7 +156,11 @@ mod tests {
         let ft = synthetic_ft(20_000, Region::NorthAmerica, 3); // 03:00 = NA peak
         let diurnal = DiurnalModel::paper_default();
         let fit = fit_passive_duration(&ft, Region::NorthAmerica, true, &diurnal).unwrap();
-        assert!((fit.body_weight - 0.75).abs() < 0.02, "w {}", fit.body_weight);
+        assert!(
+            (fit.body_weight - 0.75).abs() < 0.02,
+            "w {}",
+            fit.body_weight
+        );
         match fit.tail {
             stats::fit::SideFit::Lognormal(l) => {
                 assert!((l.mu() - 6.397).abs() < 0.25, "tail mu {}", l.mu());

@@ -60,9 +60,7 @@ pub fn ccdf_by_period(ft: &FilteredTrace, region: Region) -> Vec<Series> {
 pub fn ccdf_by_region_unfiltered45(ft: &FilteredTrace) -> Vec<Series> {
     Region::CHARACTERIZED
         .iter()
-        .filter_map(|&r| {
-            ccdf_series(r.name(), query_counts_unfiltered45(ft, r), LO, HI, POINTS)
-        })
+        .filter_map(|&r| ccdf_series(r.name(), query_counts_unfiltered45(ft, r), LO, HI, POINTS))
         .collect()
 }
 
@@ -140,14 +138,14 @@ mod tests {
     #[test]
     fn unfiltered_variant_counts_flagged_queries() {
         use crate::filter::FilteredQuery;
-        use gnutella::QueryKey;
+        use gnutella::QueryId;
         use simnet::SimTime;
         let mut s = session(Region::Asia, 0, 4000, &[10]);
         // Add 5 flagged queries.
         for i in 0..5 {
             s.queries.push(FilteredQuery {
                 at: SimTime::from_millis(20_000 + i * 500),
-                key: QueryKey::new(&format!("f{i}")),
+                key: QueryId::canonical_of(&format!("f{i}")),
                 flagged45: true,
             });
         }

@@ -72,7 +72,7 @@ pub fn correlations(ft: &FilteredTrace, region: Region) -> CorrelationFindings {
 mod tests {
     use super::*;
     use crate::filter::{FilterReport, FilteredQuery, FilteredSession};
-    use gnutella::QueryKey;
+    use gnutella::QueryId;
     use simnet::SimTime;
 
     /// Synthetic sessions where duration grows with query count but the
@@ -85,7 +85,7 @@ mod tests {
             let queries = (0..n)
                 .map(|k| FilteredQuery {
                     at: SimTime::from_secs(i * 100_000 + 100 + u64::from(k) * gap),
-                    key: QueryKey::new(&format!("q{i} k{k}")),
+                    key: QueryId::canonical_of(&format!("q{i} k{k}")),
                     flagged45: false,
                 })
                 .collect::<Vec<_>>();

@@ -19,7 +19,7 @@
 //! measure (§3.3).
 
 use geoip::{GeoDb, Region};
-use gnutella::QueryKey;
+use gnutella::QueryId;
 use serde::{Deserialize, Serialize};
 use simnet::SimTime;
 use trace::{Sessions, Trace};
@@ -111,8 +111,8 @@ impl FilterReport {
 pub struct FilteredQuery {
     /// Arrival time.
     pub at: SimTime,
-    /// Canonical keyword set.
-    pub key: QueryKey,
+    /// Canonical keyword set (interned).
+    pub key: QueryId,
     /// Flagged by rule 4 or 5 (excluded from interarrival and, in the
     /// main analysis, from the per-session query count).
     pub flagged45: bool,
@@ -261,14 +261,16 @@ pub fn apply_filters_to_sessions(sessions: &Sessions, db: &GeoDb) -> FilteredTra
         let mut kept: Vec<FilteredQuery> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for q in &view.queries {
-            let key = QueryKey::new(&q.text);
+            // Canonical keyword-set id, precomputed at intern time — no
+            // per-query normalization or allocation here.
+            let key = q.text.canonical();
             // Rule 1: SHA1 extension with empty keywords.
             if q.sha1 && key.is_empty() {
                 report.rule1_removed += 1;
                 continue;
             }
             // Rule 2: keyword set already issued in this session.
-            if !seen.insert(key.clone()) {
+            if !seen.insert(key) {
                 report.rule2_removed += 1;
                 continue;
             }
@@ -323,8 +325,7 @@ pub fn apply_filters_to_sessions(sessions: &Sessions, db: &GeoDb) -> FilteredTra
 
         report.final_sessions += 1;
         report.final_queries += kept.len() as u64;
-        report.interarrival_queries +=
-            kept.iter().filter(|q| !q.flagged45).count() as u64;
+        report.interarrival_queries += kept.iter().filter(|q| !q.flagged45).count() as u64;
 
         out.push(FilteredSession {
             region: db.lookup(view.addr),
@@ -500,7 +501,7 @@ mod tests {
             300,
             &[
                 (10, "q one", false),
-                (20, "q two", false),  // gap 10
+                (20, "q two", false),   // gap 10
                 (30, "q three", false), // gap 10 again → flagged
                 (40, "q four", false),  // gap 10 again → flagged
                 (57, "q five", false),  // gap 17 → kept
@@ -515,7 +516,12 @@ mod tests {
     fn passive_classification_and_measures() {
         let mut t = base_trace();
         add_session(&mut t, 0, 500, &[]);
-        add_session(&mut t, 1000, 500, &[(100, "x y", false), (200, "y z", false)]);
+        add_session(
+            &mut t,
+            1000,
+            500,
+            &[(100, "x y", false), (200, "y z", false)],
+        );
         let f = run(&t);
         assert!(f.sessions[0].is_passive());
         assert!(!f.sessions[1].is_passive());
@@ -589,6 +595,9 @@ mod tests {
         assert!(r.rule5_flagged > 0, "rule 5 should fire");
         // ~70 % of sessions are removed by rule 3 (the quick disconnects).
         let frac3 = r.rule3_sessions_removed as f64 / r.raw_sessions as f64;
-        assert!((0.6..0.8).contains(&frac3), "rule-3 session fraction {frac3}");
+        assert!(
+            (0.6..0.8).contains(&frac3),
+            "rule-3 session fraction {frac3}"
+        );
     }
 }

@@ -114,9 +114,7 @@ pub fn hit_rate(trace: &Trace, db: &GeoDb) -> HitRateAnalysis {
         }
     }
 
-    let hits_ccdf = Ecdf::new(hit_counts)
-        .ok()
-        .map(|e| e.ccdf_series_exact());
+    let hits_ccdf = Ecdf::new(hit_counts).ok().map(|e| e.ccdf_series_exact());
 
     // Correlation: session query count vs answered fraction.
     let mut xs = Vec::new();
@@ -172,7 +170,7 @@ mod tests {
             hops: 1,
             ttl: 6,
             payload: RecordedPayload::Query {
-                text: format!("query {g}"),
+                text: format!("query {g}").into(),
                 sha1: false,
             },
         };

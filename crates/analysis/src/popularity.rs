@@ -8,7 +8,7 @@
 
 use crate::filter::FilteredTrace;
 use geoip::Region;
-use gnutella::QueryKey;
+use gnutella::QueryId;
 use serde::{Deserialize, Serialize};
 use stats::fit::{fit_two_piece_zipf_auto, TwoPieceZipfFit, ZipfFit};
 use stats::Series;
@@ -78,21 +78,21 @@ impl GeoClass {
 #[derive(Debug, Clone, Default)]
 pub struct DailyObservations {
     /// Per day, per region (index), counts per keyword set.
-    days: Vec<[HashMap<QueryKey, u64>; 4]>,
+    days: Vec<[HashMap<QueryId, u64>; 4]>,
 }
 
 impl DailyObservations {
     /// Collect observations from a filtered trace (each query is binned by
     /// its own arrival day).
     pub fn collect(ft: &FilteredTrace) -> DailyObservations {
-        let mut days: Vec<[HashMap<QueryKey, u64>; 4]> = Vec::new();
+        let mut days: Vec<[HashMap<QueryId, u64>; 4]> = Vec::new();
         for s in &ft.sessions {
             for q in &s.queries {
                 let day = q.at.day() as usize;
                 while days.len() <= day {
                     days.push(Default::default());
                 }
-                *days[day][s.region.index()].entry(q.key.clone()).or_insert(0) += 1;
+                *days[day][s.region.index()].entry(q.key).or_insert(0) += 1;
             }
         }
         DailyObservations { days }
@@ -104,26 +104,26 @@ impl DailyObservations {
     }
 
     /// Distinct keys issued by `region` during days `[start, start + len)`.
-    pub fn distinct_in_period(&self, region: Region, start: usize, len: usize) -> HashSet<QueryKey> {
+    pub fn distinct_in_period(&self, region: Region, start: usize, len: usize) -> HashSet<QueryId> {
         let mut out = HashSet::new();
         for d in start..(start + len).min(self.days.len()) {
-            out.extend(self.days[d][region.index()].keys().cloned());
+            out.extend(self.days[d][region.index()].keys().copied());
         }
         out
     }
 
     /// Per-key counts for a region on one day.
-    pub fn day_counts(&self, region: Region, day: usize) -> Option<&HashMap<QueryKey, u64>> {
+    pub fn day_counts(&self, region: Region, day: usize) -> Option<&HashMap<QueryId, u64>> {
         self.days.get(day).map(|d| &d[region.index()])
     }
 
     /// Classify every key observed on `day` into its [`GeoClass`].
-    pub fn classify_day(&self, day: usize) -> HashMap<QueryKey, GeoClass> {
+    pub fn classify_day(&self, day: usize) -> HashMap<QueryId, GeoClass> {
         let Some(d) = self.days.get(day) else {
             return HashMap::new();
         };
         let mut out = HashMap::new();
-        let mut keys: HashSet<&QueryKey> = HashSet::new();
+        let mut keys: HashSet<&QueryId> = HashSet::new();
         for r in [Region::NorthAmerica, Region::Europe, Region::Asia] {
             keys.extend(d[r.index()].keys());
         }
@@ -132,7 +132,7 @@ impl DailyObservations {
             let eu = d[Region::Europe.index()].contains_key(k);
             let asia = d[Region::Asia.index()].contains_key(k);
             if let Some(c) = GeoClass::of(na, eu, asia) {
-                out.insert(k.clone(), c);
+                out.insert(*k, c);
             }
         }
         out
@@ -232,14 +232,14 @@ pub fn render_table3(rows: &[ClassSizes]) -> String {
 }
 
 /// The day-`n` ranking (most frequent first) of a region's queries.
-pub fn day_ranking(obs: &DailyObservations, region: Region, day: usize) -> Vec<QueryKey> {
+pub fn day_ranking(obs: &DailyObservations, region: Region, day: usize) -> Vec<QueryId> {
     let Some(counts) = obs.day_counts(region, day) else {
         return Vec::new();
     };
-    let mut v: Vec<(&QueryKey, &u64)> = counts.iter().collect();
+    let mut v: Vec<(&QueryId, &u64)> = counts.iter().collect();
     // Deterministic order: by count desc, then key asc.
     v.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
-    v.into_iter().map(|(k, _)| k.clone()).collect()
+    v.into_iter().map(|(k, _)| *k).collect()
 }
 
 /// Hot-set drift (Figure 10): for queries in `rank_range` (1-based,
@@ -273,8 +273,8 @@ pub fn hot_set_drift(
         if lo >= hi {
             continue;
         }
-        let group: HashSet<&QueryKey> = today[lo..hi].iter().collect();
-        let top_next: HashSet<&QueryKey> = tomorrow.iter().take(n_next).collect();
+        let group: HashSet<&QueryId> = today[lo..hi].iter().collect();
+        let top_next: HashSet<&QueryId> = tomorrow.iter().take(n_next).collect();
         counts.push(group.intersection(&top_next).count() as f64);
     }
     let n = counts.len().max(1) as f64;
@@ -332,7 +332,7 @@ pub fn per_day_popularity_with_volume(
         }
         let classes = obs.classify_day(day);
         // Count per key: sum over the participating regions.
-        let mut counts: Vec<(QueryKey, u64)> = Vec::new();
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
         let mut total = 0u64;
         for (key, c) in &classes {
             if *c != class {
@@ -345,7 +345,7 @@ pub fn per_day_popularity_with_volume(
                 }
             }
             total += n;
-            counts.push((key.clone(), n));
+            counts.push((*key, n));
         }
         if counts.is_empty() || total == 0 {
             continue;
@@ -436,7 +436,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, k)| FilteredQuery {
                     at: SimTime::from_secs(day * 86_400 + 3_700 + i as u64 * 30),
-                    key: QueryKey::new(k),
+                    key: QueryId::canonical_of(k),
                     flagged45: false,
                 })
                 .collect(),
@@ -487,9 +487,9 @@ mod tests {
         ]);
         let obs = DailyObservations::collect(&t);
         let classes = obs.classify_day(0);
-        assert_eq!(classes[&QueryKey::new("only na")], GeoClass::NaOnly);
-        assert_eq!(classes[&QueryKey::new("only eu")], GeoClass::EuOnly);
-        assert_eq!(classes[&QueryKey::new("both q")], GeoClass::NaEu);
+        assert_eq!(classes[&QueryId::canonical_of("only na")], GeoClass::NaOnly);
+        assert_eq!(classes[&QueryId::canonical_of("only eu")], GeoClass::EuOnly);
+        assert_eq!(classes[&QueryId::canonical_of("both q")], GeoClass::NaEu);
     }
 
     #[test]
@@ -513,7 +513,7 @@ mod tests {
         ]);
         let obs = DailyObservations::collect(&t);
         let ranking = day_ranking(&obs, Region::NorthAmerica, 0);
-        assert_eq!(ranking[0], QueryKey::new("hot q"));
+        assert_eq!(ranking[0], QueryId::canonical_of("hot q"));
         assert_eq!(ranking.len(), 2);
     }
 

@@ -203,7 +203,10 @@ mod tests {
                 na_xolox += 1;
             }
         }
-        assert!(asia_xolox > 5 * na_xolox, "asia {asia_xolox} vs na {na_xolox}");
+        assert!(
+            asia_xolox > 5 * na_xolox,
+            "asia {asia_xolox} vs na {na_xolox}"
+        );
     }
 
     #[test]

@@ -132,16 +132,30 @@ impl Actor for PopulationDriver {
     }
 }
 
-/// Run a full population campaign and return the measurement trace.
-pub fn run_population(cfg: &PopulationConfig) -> Trace {
-    let seq = SeedSequence::new(cfg.seed);
-    let vocab = Arc::new(Vocabulary::build(
+/// Build the campaign vocabulary from the root sequence (shared across
+/// shards so every shard draws from the same query population).
+fn build_vocabulary(cfg: &PopulationConfig, seq: &SeedSequence) -> Vocabulary {
+    Vocabulary::build(
         seq.derive_seed("vocab"),
         VocabularyConfig {
-            n_days: (cfg.days.ceil() as usize).max(cfg.vocab.n_days.min(40)).max(1),
+            n_days: (cfg.days.ceil() as usize)
+                .max(cfg.vocab.n_days.min(40))
+                .max(1),
             ..cfg.vocab.clone()
         },
-    ));
+    )
+}
+
+/// Run one simulator campaign at `sessions_per_day`, deriving every
+/// stream from `seq`. [`run_population`] is exactly this at full rate
+/// with the root sequence; shards run it at `rate / n` with per-shard
+/// derived sequences.
+fn run_shard(
+    cfg: &PopulationConfig,
+    vocab: Arc<Vocabulary>,
+    seq: SeedSequence,
+    sessions_per_day: f64,
+) -> Trace {
     let planner = SessionPlanner::paper_default(vocab.clone());
     let db = GeoDb::synthetic();
     let alloc = Arc::new(AddressAllocator::new(&db));
@@ -154,7 +168,15 @@ pub fn run_population(cfg: &PopulationConfig) -> Trace {
         latency: LatencyModel::intra_continent(),
     };
 
-    let trace = Arc::new(parking_lot::Mutex::new(Trace::new()));
+    // Pre-reserve: expected connections plus slack, and a message volume
+    // estimate (relay + keepalive traffic dominates; ~tens of messages per
+    // session at default rates). Reallocation in the record hot path is
+    // what this avoids; over-estimates just waste a little memory briefly.
+    let expected_sessions = (sessions_per_day * cfg.days * 1.3) as usize + 64;
+    let trace = Arc::new(parking_lot::Mutex::new(Trace::with_capacity(
+        expected_sessions,
+        expected_sessions * 32,
+    )));
     let mut sim: Simulator<NetMsg> = Simulator::new(seq.derive_seed("engine"));
     let collector_cfg = CollectorConfig {
         max_connections: cfg.max_connections,
@@ -168,7 +190,7 @@ pub fn run_population(cfg: &PopulationConfig) -> Trace {
     let driver = PopulationDriver {
         server,
         planner,
-        arrivals: ArrivalProcess::new(cfg.sessions_per_day),
+        arrivals: ArrivalProcess::new(sessions_per_day),
         env,
         seq: seq.child("population"),
         end,
@@ -181,9 +203,119 @@ pub fn run_population(cfg: &PopulationConfig) -> Trace {
     // probe-close chains of vanished peers) settle.
     sim.run_until(end + SimDuration::from_hours(2));
 
+    // The measurement peer inside the simulator holds the only other Arc
+    // handle; dropping the simulator first lets us take the trace by move
+    // instead of falling back to a whole-trace clone.
+    drop(sim);
     Arc::try_unwrap(trace)
-        .map(|m| m.into_inner())
+        .map(parking_lot::Mutex::into_inner)
         .unwrap_or_else(|arc| arc.lock().clone())
+}
+
+/// Run a full population campaign and return the measurement trace.
+pub fn run_population(cfg: &PopulationConfig) -> Trace {
+    let seq = SeedSequence::new(cfg.seed);
+    let vocab = Arc::new(build_vocabulary(cfg, &seq));
+    run_shard(cfg, vocab, seq, cfg.sessions_per_day)
+}
+
+/// Run a population campaign as `n_shards` Poisson-thinned sub-campaigns
+/// on a thread pool and merge the traces.
+///
+/// Superposition: `n` independent Poisson arrival streams at rate `λ/n`
+/// are statistically identical to one stream at rate `λ`, so splitting
+/// the campaign across simulators preserves the arrival model exactly.
+/// Each shard gets its own [`Simulator`], measurement peer, and local
+/// trace (no cross-thread shared state on the hot path); shard seeds are
+/// derived per index, so the result is bit-identical across repeated runs
+/// at any fixed shard count.
+///
+/// `n_shards == 1` delegates to [`run_population`] and reproduces its
+/// output exactly. For `n > 1` the merged trace is statistically — not
+/// bitwise — equivalent to the single-shard trace: the shards interleave
+/// different arrival streams. Each shard models a `1/n` slice of the
+/// measurement node: the arrival stream is thinned to `λ/n` *and* the
+/// admission cap is split `max_connections / n` (earlier shards take the
+/// remainder), so the merged campaign admits the same aggregate capacity.
+/// (A burst can be refused by a full shard while another has free slots,
+/// so cap-bound admission is equivalent in expectation, not per-arrival.)
+/// Merged connections are ordered by `(start, shard)` with densely
+/// renumbered [`SessionId`]s; messages by `(arrival, shard)`.
+///
+/// # Panics
+///
+/// Panics if `n_shards == 0` or a shard thread panics.
+pub fn run_population_sharded(cfg: &PopulationConfig, n_shards: usize) -> Trace {
+    assert!(n_shards >= 1, "n_shards must be at least 1");
+    if n_shards == 1 {
+        return run_population(cfg);
+    }
+    assert!(
+        cfg.max_connections >= n_shards,
+        "max_connections ({}) must be at least n_shards ({}) so every shard can admit sessions",
+        cfg.max_connections,
+        n_shards
+    );
+    let seq = SeedSequence::new(cfg.seed);
+    let vocab = Arc::new(build_vocabulary(cfg, &seq));
+    let rate = cfg.sessions_per_day / n_shards as f64;
+    let shards: Vec<Trace> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_shards)
+            .map(|i| {
+                let vocab = Arc::clone(&vocab);
+                let shard_seq = seq.child_indexed("shard", i as u64);
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.max_connections = cfg.max_connections / n_shards
+                    + usize::from(i < cfg.max_connections % n_shards);
+                scope.spawn(move || run_shard(&shard_cfg, vocab, shard_seq, rate))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+    merge_shard_traces(shards)
+}
+
+/// Merge per-shard traces into canonical `(time, shard)` order with
+/// densely renumbered session ids.
+fn merge_shard_traces(shards: Vec<Trace>) -> Trace {
+    let n_conns: usize = shards.iter().map(|t| t.connections.len()).sum();
+    let n_msgs: usize = shards.iter().map(|t| t.messages.len()).sum();
+
+    let mut conns: Vec<(usize, trace::ConnectionRecord)> = Vec::with_capacity(n_conns);
+    let mut msg_lists: Vec<Vec<trace::MessageRecord>> = Vec::with_capacity(shards.len());
+    for (shard, t) in shards.into_iter().enumerate() {
+        conns.extend(t.connections.into_iter().map(|c| (shard, c)));
+        msg_lists.push(t.messages);
+    }
+    // Each shard's connections are already start-ordered, so a stable sort
+    // by (start, shard) yields the canonical merged order.
+    conns.sort_by_key(|(shard, c)| (c.start, *shard));
+
+    let mut remap: Vec<std::collections::HashMap<u64, u64>> =
+        vec![std::collections::HashMap::new(); msg_lists.len()];
+    let mut connections = Vec::with_capacity(n_conns);
+    for (new_id, (shard, mut c)) in conns.into_iter().enumerate() {
+        remap[shard].insert(c.id.0, new_id as u64);
+        c.id = trace::SessionId(new_id as u64);
+        connections.push(c);
+    }
+
+    let mut msgs: Vec<(usize, trace::MessageRecord)> = Vec::with_capacity(n_msgs);
+    for (shard, list) in msg_lists.into_iter().enumerate() {
+        for mut m in list {
+            m.session = trace::SessionId(remap[shard][&m.session.0]);
+            msgs.push((shard, m));
+        }
+    }
+    msgs.sort_by_key(|(shard, m)| (m.at, *shard));
+
+    Trace {
+        connections,
+        messages: msgs.into_iter().map(|(_, m)| m).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -260,11 +392,107 @@ mod tests {
     }
 
     #[test]
+    fn sharded_one_shard_is_exactly_run_population() {
+        let cfg = PopulationConfig {
+            days: 0.05,
+            sessions_per_day: 1_500.0,
+            ..PopulationConfig::smoke()
+        };
+        let single = run_population(&cfg);
+        let sharded = run_population_sharded(&cfg, 1);
+        assert_eq!(
+            single, sharded,
+            "n_shards = 1 must reproduce run_population bit for bit"
+        );
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic() {
+        let cfg = PopulationConfig {
+            days: 0.05,
+            sessions_per_day: 1_500.0,
+            ..PopulationConfig::smoke()
+        };
+        let a = run_population_sharded(&cfg, 4);
+        let b = run_population_sharded(&cfg, 4);
+        assert_eq!(a, b, "same seed and shard count must merge identically");
+        let mut cfg2 = cfg;
+        cfg2.seed += 1;
+        let c = run_population_sharded(&cfg2, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sharded_trace_is_canonical_and_statistically_sane() {
+        let cfg = PopulationConfig {
+            days: 0.1,
+            sessions_per_day: 2_000.0,
+            ..PopulationConfig::smoke()
+        };
+        let single = run_population(&cfg);
+        let merged = run_population_sharded(&cfg, 4);
+
+        // Session ids are dense and match vector positions; connections
+        // are start-ordered; messages are arrival-ordered with valid
+        // session references.
+        for (i, c) in merged.connections.iter().enumerate() {
+            assert_eq!(c.id.0, i as u64);
+        }
+        for w in merged.connections.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for w in merged.messages.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for m in &merged.messages {
+            assert!((m.session.0 as usize) < merged.connections.len());
+        }
+
+        // Poisson superposition: 4 thinned streams at rate/4 carry the
+        // same expected volume as the single full-rate stream.
+        let s1 = single.stats();
+        let s4 = merged.stats();
+        let conn_ratio = s4.direct_connections as f64 / s1.direct_connections as f64;
+        assert!(
+            (0.75..1.35).contains(&conn_ratio),
+            "sharded connection volume diverged: {} vs {}",
+            s4.direct_connections,
+            s1.direct_connections
+        );
+        // Query volumes are heavy-tailed (rare burst sessions dominate),
+        // so compare them in absolute sanity terms rather than against the
+        // single run: the merged trace must look like a normal campaign.
+        assert!(s4.hop1_queries > 0);
+        assert!(
+            s4.query_messages > s4.hop1_queries,
+            "relayed traffic missing"
+        );
+        let uf = s4.ultrapeer_fraction();
+        assert!((0.25..0.55).contains(&uf), "ultrapeer fraction {uf}");
+        let sessions = Sessions::from_trace(&merged);
+        let ended = sessions.iter().filter(|s| s.end.is_some()).count();
+        let quick = sessions
+            .iter()
+            .filter(|s| {
+                s.duration()
+                    .map(|d| d.as_secs_f64() < 64.0)
+                    .unwrap_or(false)
+            })
+            .count() as f64;
+        let frac = quick / ended as f64;
+        assert!((0.6..0.8).contains(&frac), "quick fraction {frac}");
+    }
+
+    #[test]
     fn probe_closures_overestimate_durations() {
         let trace = run_population(&PopulationConfig::smoke());
         // Vanished peers are probe-closed; the paper says most clients stop
         // silently, so a large share of sessions must be probe-closed.
-        let probed = trace.connections.iter().filter(|c| c.closed_by_probe).count();
+        let probed = trace
+            .connections
+            .iter()
+            .filter(|c| c.closed_by_probe)
+            .count();
         let frac = probed as f64 / trace.connections.len() as f64;
         assert!(frac > 0.5, "probe-closed fraction {frac}");
     }

@@ -37,9 +37,9 @@ pub mod session;
 pub mod vocabulary;
 
 pub use clients::{ClientPopulation, ClientProfile};
-pub use driver::{run_population, PopulationConfig};
-pub use peer::{ClientPeer, PeerEnv, RelayRates};
+pub use driver::{run_population, run_population_sharded, PopulationConfig};
 pub use files::SharedFilesModel;
 pub use params::BehaviorParams;
+pub use peer::{ClientPeer, PeerEnv, RelayRates};
 pub use session::{PlannedQuery, QueryOrigin, SessionKind, SessionPlan, SessionPlanner};
 pub use vocabulary::{QueryClass, Vocabulary, VocabularyConfig};

@@ -127,12 +127,8 @@ impl BehaviorParams {
     ) -> BodyTail<Truncated<Lognormal>, Lognormal> {
         // (body weight, body LN, tail LN) per region × period.
         let (w, body, tail) = match (region, peak) {
-            (Region::NorthAmerica | Region::Other, true) => {
-                (0.75, (2.108, 2.502), (6.397, 2.749))
-            }
-            (Region::NorthAmerica | Region::Other, false) => {
-                (0.55, (2.201, 2.383), (6.817, 2.848))
-            }
+            (Region::NorthAmerica | Region::Other, true) => (0.75, (2.108, 2.502), (6.397, 2.749)),
+            (Region::NorthAmerica | Region::Other, false) => (0.55, (2.201, 2.383), (6.817, 2.848)),
             // Europe: longer sessions — smaller body weight, heavier tail.
             (Region::Europe, true) => (0.55, (2.201, 2.383), (6.90, 2.80)),
             (Region::Europe, false) => (0.42, (2.201, 2.383), (7.25, 2.85)),
@@ -142,8 +138,7 @@ impl BehaviorParams {
         };
         let body_ln = Lognormal::new(body.0, body.1).expect("body params valid");
         let tail_ln = Lognormal::new(tail.0, tail.1).expect("tail params valid");
-        let body_trunc =
-            Truncated::new(body_ln, 64.0, 120.0).expect("body window carries mass");
+        let body_trunc = Truncated::new(body_ln, 64.0, 120.0).expect("body window carries mass");
         BodyTail::new(body_trunc, tail_ln, 120.0, w).expect("composite valid")
     }
 
@@ -234,12 +229,7 @@ impl BehaviorParams {
     /// Time after the last query (Table A.5: lognormal, conditioned on
     /// period and query-count class; exact NA parameters, Asia closes
     /// sessions faster per Figure 9(a)).
-    pub fn time_after_last(
-        &self,
-        region: Region,
-        peak: bool,
-        class: LastQueryClass,
-    ) -> Lognormal {
+    pub fn time_after_last(&self, region: Region, peak: bool, class: LastQueryClass) -> Lognormal {
         use LastQueryClass::*;
         let (sigma, mu) = match (peak, class) {
             (true, One) => (2.361, 4.879),
@@ -328,13 +318,21 @@ mod tests {
         // offset), so the bands here are generous.
         let p = BehaviorParams::default();
         let lt5 = |r: Region| p.queries_per_session(r).cdf(4.0);
-        assert!((lt5(Region::Asia) - 0.92).abs() < 0.05, "AS {}", lt5(Region::Asia));
+        assert!(
+            (lt5(Region::Asia) - 0.92).abs() < 0.05,
+            "AS {}",
+            lt5(Region::Asia)
+        );
         assert!(
             (lt5(Region::NorthAmerica) - 0.83).abs() < 0.05,
             "NA {}",
             lt5(Region::NorthAmerica)
         );
-        assert!((lt5(Region::Europe) - 0.72).abs() < 0.06, "EU {}", lt5(Region::Europe));
+        assert!(
+            (lt5(Region::Europe) - 0.72).abs() < 0.06,
+            "EU {}",
+            lt5(Region::Europe)
+        );
         // Ordering: EU issues most queries.
         assert!(
             p.queries_per_session(Region::Europe).mean().unwrap()

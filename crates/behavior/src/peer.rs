@@ -135,24 +135,23 @@ impl ClientPeer {
         let hops = *[2u8, 2, 3, 3, 3, 4, 4, 5, 5, 6]
             .get(self.rng.gen_range(0..10))
             .unwrap();
-        (hops, gnutella::message::DEFAULT_TTL.saturating_sub(hops).max(1))
+        (
+            hops,
+            gnutella::message::DEFAULT_TTL.saturating_sub(hops).max(1),
+        )
     }
 
     fn send_relay_query(&mut self, ctx: &mut Context<'_, NetMsg>) {
         let hour = ctx.now().hour_of_day();
         let day = ctx.now().day() as usize;
         let region = self.env.diurnal.sample_region(hour, &mut self.rng);
-        let text = self
-            .env
-            .vocab
-            .sample_query(region, day, &mut self.rng)
-            .to_string();
+        let text = self.env.vocab.sample_query(region, day, &mut self.rng);
         let (hops, ttl) = self.relay_header();
         let msg = Message {
             guid: Guid::random(&mut self.rng),
             ttl,
             hops,
-            payload: Payload::Query(Query::keywords(text)),
+            payload: Payload::Query(Query::from_id(text)),
         };
         self.send_frame(ctx, &msg);
     }
@@ -359,7 +358,7 @@ impl Actor for ClientPeer {
                 };
                 let payload = Payload::Query(Query {
                     min_speed: 0,
-                    text: pq.text.clone(),
+                    text: pq.text,
                     sha1: pq.sha1.clone(),
                 });
                 let msg = Message::originate(Guid::random(&mut self.rng), payload).first_hop();

@@ -11,6 +11,7 @@ use crate::files::SharedFilesModel;
 use crate::params::{BehaviorParams, FirstQueryClass, LastQueryClass};
 use crate::vocabulary::Vocabulary;
 use geoip::{DiurnalModel, Region};
+use gnutella::QueryId;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -52,8 +53,8 @@ impl QueryOrigin {
 pub struct PlannedQuery {
     /// Offset from session start.
     pub offset: SimDuration,
-    /// Keyword text (empty for SHA1 re-queries).
-    pub text: String,
+    /// Interned keyword text (empty for SHA1 re-queries).
+    pub text: QueryId,
     /// `urn:sha1:` extension, if any.
     pub sha1: Option<String>,
     /// Ground-truth origin.
@@ -187,7 +188,7 @@ impl SessionPlanner {
             let n = rng.gen_range(1..=2);
             for _ in 0..n {
                 let at = rng.gen_range(1.0..secs - 1.0);
-                let text = self.vocab.sample_query(plan.region, day, rng).to_string();
+                let text = self.vocab.sample_query(plan.region, day, rng);
                 plan.queries.push(PlannedQuery {
                     offset: SimDuration::from_secs_f64(at),
                     text,
@@ -224,11 +225,7 @@ impl SessionPlanner {
         let peak = plan.peak;
 
         // --- User layer -------------------------------------------------
-        let n_user = (self
-            .params
-            .queries_per_session(region)
-            .sample(rng)
-            .ceil() as u32)
+        let n_user = (self.params.queries_per_session(region).sample(rng).ceil() as u32)
             .clamp(1, BehaviorParams::MAX_USER_QUERIES);
         plan.user_query_count = n_user;
 
@@ -254,21 +251,21 @@ impl SessionPlanner {
         plan.duration = SimDuration::from_secs_f64(duration);
 
         // User query texts: mostly distinct searches.
-        let mut texts: Vec<String> = Vec::with_capacity(times.len());
+        let mut texts: Vec<QueryId> = Vec::with_capacity(times.len());
         for _ in &times {
-            let mut q = self.vocab.sample_query(region, day, rng).to_string();
+            let mut q = self.vocab.sample_query(region, day, rng);
             for _ in 0..3 {
                 if !texts.contains(&q) {
                     break;
                 }
-                q = self.vocab.sample_query(region, day, rng).to_string();
+                q = self.vocab.sample_query(region, day, rng);
             }
             texts.push(q);
         }
-        for (at, text) in times.iter().zip(&texts) {
+        for (at, &text) in times.iter().zip(&texts) {
             plan.queries.push(PlannedQuery {
                 offset: SimDuration::from_secs_f64(*at),
-                text: text.clone(),
+                text,
                 sha1: None,
                 origin: QueryOrigin::User,
             });
@@ -276,7 +273,7 @@ impl SessionPlanner {
 
         // --- Client automation layer ------------------------------------
         // Rule 2 targets: automatic re-sends of earlier user queries.
-        for (at, text) in times.iter().zip(&texts) {
+        for (at, &text) in times.iter().zip(&texts) {
             if rng.gen::<f64>() < client.repeat_prob {
                 let k = geometric(rng, client.repeat_mean).min(10);
                 for _ in 0..k {
@@ -284,7 +281,7 @@ impl SessionPlanner {
                     let rt = rng.gen_range(*at + 5.0..hi.max(at + 5.1));
                     plan.queries.push(PlannedQuery {
                         offset: SimDuration::from_secs_f64(rt),
-                        text: text.clone(),
+                        text,
                         sha1: None,
                         origin: QueryOrigin::AutoRepeat,
                     });
@@ -299,7 +296,7 @@ impl SessionPlanner {
                 let at = rng.gen_range(t_first..hi.max(t_first + 0.1));
                 plan.queries.push(PlannedQuery {
                     offset: SimDuration::from_secs_f64(at),
-                    text: String::new(),
+                    text: QueryId::empty(),
                     sha1: Some(synth_sha1(rng)),
                     origin: QueryOrigin::AutoSha1,
                 });
@@ -316,19 +313,19 @@ impl SessionPlanner {
             // measured). Rejection-sample against the texts already in the
             // burst; on persistent collision (tiny class vocabularies) the
             // duplicate is kept and rule 2 removes it downstream.
-            let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+            let mut seen: std::collections::HashSet<QueryId> = std::collections::HashSet::new();
             for _ in 0..b {
                 if at >= duration * 0.95 {
                     break; // burst must fit inside the session
                 }
-                let mut text = self.vocab.sample_query(region, day, rng).to_string();
+                let mut text = self.vocab.sample_query(region, day, rng);
                 for _ in 0..8 {
                     if !seen.contains(&text) {
                         break;
                     }
-                    text = self.vocab.sample_query(region, day, rng).to_string();
+                    text = self.vocab.sample_query(region, day, rng);
                 }
-                seen.insert(text.clone());
+                seen.insert(text);
                 plan.queries.push(PlannedQuery {
                     offset: SimDuration::from_secs_f64(at),
                     text,
@@ -343,8 +340,8 @@ impl SessionPlanner {
         if rng.gen::<f64>() < client.periodic_prob {
             let interval = client.periodic_interval_secs;
             let n_texts = rng.gen_range(2..=4usize);
-            let train: Vec<String> = (0..n_texts)
-                .map(|_| self.vocab.sample_query(region, day, rng).to_string())
+            let train: Vec<QueryId> = (0..n_texts)
+                .map(|_| self.vocab.sample_query(region, day, rng))
                 .collect();
             let start = rng.gen_range(4.0..8.0);
             let max_train = 40;
@@ -353,7 +350,7 @@ impl SessionPlanner {
             while at < duration * 0.9 && k < max_train {
                 plan.queries.push(PlannedQuery {
                     offset: SimDuration::from_secs_f64(at),
-                    text: train[k % n_texts].clone(),
+                    text: train[k % n_texts],
                     sha1: None,
                     origin: QueryOrigin::AutoPeriodic,
                 });
@@ -422,7 +419,10 @@ mod tests {
         assert!((quick / n - 0.70).abs() < 0.02, "quick {}", quick / n);
         // Of the non-quick sessions, ≈82.5 % passive for NA.
         let frac_passive = passive / (passive + active);
-        assert!((frac_passive - 0.825).abs() < 0.03, "passive {frac_passive}");
+        assert!(
+            (frac_passive - 0.825).abs() < 0.03,
+            "passive {frac_passive}"
+        );
     }
 
     #[test]
@@ -507,7 +507,10 @@ mod tests {
         // Figure 6(c): ≈4 % of Asian sessions exceed 100 raw queries when
         // rules 4/5 are not applied.
         let ps = plans(20_000, Region::Asia, 13);
-        let active: Vec<_> = ps.iter().filter(|p| p.kind == SessionKind::Active).collect();
+        let active: Vec<_> = ps
+            .iter()
+            .filter(|p| p.kind == SessionKind::Active)
+            .collect();
         let heavy = active.iter().filter(|p| p.queries.len() > 100).count() as f64;
         let frac = heavy / active.len() as f64;
         assert!(frac > 0.01, "heavy-burst fraction {frac}");

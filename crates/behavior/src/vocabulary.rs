@@ -24,6 +24,7 @@
 //! keyword-set identity of §3.2 cannot collide across classes.
 
 use geoip::Region;
+use gnutella::QueryId;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -178,8 +179,8 @@ impl Default for VocabularyConfig {
 /// One class's pool and precomputed daily rankings.
 #[derive(Debug, Clone)]
 struct ClassPool {
-    /// Pool item texts.
-    texts: Vec<String>,
+    /// Pool item texts, interned once at build time.
+    ids: Vec<QueryId>,
     /// `rankings[day][rank-1]` = pool index of the day's rank-`rank` item.
     rankings: Vec<Vec<u32>>,
     law: RankLaw,
@@ -196,12 +197,12 @@ pub struct Vocabulary {
 /// 16 × 16 syllable lexicon → 256 distinct keywords.
 fn lexicon() -> Vec<String> {
     const A: [&str; 16] = [
-        "dark", "blue", "fire", "moon", "star", "gold", "wild", "free", "lost", "last",
-        "love", "rock", "rain", "sun", "night", "heart",
+        "dark", "blue", "fire", "moon", "star", "gold", "wild", "free", "lost", "last", "love",
+        "rock", "rain", "sun", "night", "heart",
     ];
     const B: [&str; 16] = [
-        "song", "road", "line", "side", "light", "dance", "dream", "rider", "town", "girl",
-        "man", "wave", "time", "day", "fall", "fly",
+        "song", "road", "line", "side", "light", "dance", "dream", "rider", "town", "girl", "man",
+        "wave", "time", "day", "fall", "fly",
     ];
     let mut out = Vec::with_capacity(256);
     for a in A {
@@ -239,11 +240,11 @@ impl Vocabulary {
             let ci = class.index();
             let daily = config.daily_sizes[ci];
             let pool = (daily * config.pool_multiplier).max(daily + 1);
-            let mut texts = Vec::with_capacity(pool);
+            let mut ids = Vec::with_capacity(pool);
             for _ in 0..pool {
                 let (i, j) = pair_for(global);
                 global += 1;
-                texts.push(format!("{} {}", words[i], words[j]));
+                ids.push(QueryId::intern(&format!("{} {}", words[i], words[j])));
             }
             // Static base weights: Zipf-ish by pool position.
             let base: Vec<f64> = (0..pool).map(|i| -((i + 1) as f64).ln()).collect();
@@ -272,7 +273,7 @@ impl Vocabulary {
                 RankLaw::Zipf(Zipf::new(config.alphas[ci], daily as u64).expect("zipf valid"))
             };
             classes.push(ClassPool {
-                texts,
+                ids,
                 rankings,
                 law,
                 daily_size: daily,
@@ -297,12 +298,12 @@ impl Vocabulary {
     }
 
     /// The day's active set (rank order) as text references.
-    pub fn day_set(&self, class: QueryClass, day: usize) -> Vec<&str> {
+    pub fn day_set(&self, class: QueryClass, day: usize) -> Vec<&'static str> {
         let pool = &self.classes[class.index()];
         let day = day % pool.rankings.len();
         pool.rankings[day]
             .iter()
-            .map(|&i| pool.texts[i as usize].as_str())
+            .map(|&i| pool.ids[i as usize].resolve())
             .collect()
     }
 
@@ -316,21 +317,36 @@ impl Vocabulary {
                     mix.na.1,
                     mix.na.2,
                     mix.na.3,
-                    [QueryClass::NaOnly, QueryClass::NaEu, QueryClass::NaAs, QueryClass::All],
+                    [
+                        QueryClass::NaOnly,
+                        QueryClass::NaEu,
+                        QueryClass::NaAs,
+                        QueryClass::All,
+                    ],
                 ),
                 Region::Europe => (
                     mix.eu.0,
                     mix.eu.1,
                     mix.eu.2,
                     mix.eu.3,
-                    [QueryClass::EuOnly, QueryClass::NaEu, QueryClass::EuAs, QueryClass::All],
+                    [
+                        QueryClass::EuOnly,
+                        QueryClass::NaEu,
+                        QueryClass::EuAs,
+                        QueryClass::All,
+                    ],
                 ),
                 Region::Asia => (
                     mix.asia.0,
                     mix.asia.1,
                     mix.asia.2,
                     mix.asia.3,
-                    [QueryClass::AsOnly, QueryClass::NaAs, QueryClass::EuAs, QueryClass::All],
+                    [
+                        QueryClass::AsOnly,
+                        QueryClass::NaAs,
+                        QueryClass::EuAs,
+                        QueryClass::All,
+                    ],
                 ),
             };
         let u: f64 = rng.gen();
@@ -346,19 +362,19 @@ impl Vocabulary {
         }
     }
 
-    /// Draw a query text for `region` on `day`.
-    pub fn sample_query(&self, region: Region, day: usize, rng: &mut StdRng) -> &str {
+    /// Draw a query for `region` on `day` (an interned id — no allocation).
+    pub fn sample_query(&self, region: Region, day: usize, rng: &mut StdRng) -> QueryId {
         let class = self.pick_class(region, rng);
         self.sample_from_class(class, day, rng)
     }
 
-    /// Draw a query text from a specific class on `day`.
-    pub fn sample_from_class(&self, class: QueryClass, day: usize, rng: &mut StdRng) -> &str {
+    /// Draw a query from a specific class on `day`.
+    pub fn sample_from_class(&self, class: QueryClass, day: usize, rng: &mut StdRng) -> QueryId {
         let pool = &self.classes[class.index()];
         let day = day % pool.rankings.len();
         let rank = pool.law.sample(rng) as usize; // 1-based
         let idx = pool.rankings[day][(rank - 1).min(pool.daily_size - 1)];
-        &pool.texts[idx as usize]
+        pool.ids[idx as usize]
     }
 }
 
@@ -391,9 +407,8 @@ mod tests {
         let mut seen = HashSet::new();
         for class in QueryClass::ALL7 {
             let pool = &v.classes[class.index()];
-            for t in &pool.texts {
-                let key = gnutella::QueryKey::new(t);
-                assert!(seen.insert(key), "duplicate keyword set: {t}");
+            for t in &pool.ids {
+                assert!(seen.insert(t.canonical()), "duplicate keyword set: {t}");
             }
         }
     }
@@ -413,8 +428,11 @@ mod tests {
         let v = Vocabulary::build(3, small_config());
         let mut overlaps = Vec::new();
         for day in 0..5 {
-            let top10: HashSet<&str> =
-                v.day_set(QueryClass::NaOnly, day).into_iter().take(10).collect();
+            let top10: HashSet<&str> = v
+                .day_set(QueryClass::NaOnly, day)
+                .into_iter()
+                .take(10)
+                .collect();
             let top100: HashSet<&str> = v
                 .day_set(QueryClass::NaOnly, day + 1)
                 .into_iter()
@@ -440,7 +458,10 @@ mod tests {
             counts[v.pick_class(Region::NorthAmerica, &mut rng).index()] += 1;
         }
         let frac_own = counts[QueryClass::NaOnly.index()] as f64 / n as f64;
-        assert!((frac_own - 0.97).abs() < 0.01, "NA-only fraction {frac_own}");
+        assert!(
+            (frac_own - 0.97).abs() < 0.01,
+            "NA-only fraction {frac_own}"
+        );
         // NA peers never draw from EU-only / AS-only / EU∩AS.
         assert_eq!(counts[QueryClass::EuOnly.index()], 0);
         assert_eq!(counts[QueryClass::AsOnly.index()], 0);
@@ -455,7 +476,9 @@ mod tests {
         let mut head_hits = 0;
         let top1 = v.day_set(QueryClass::NaOnly, 2)[0];
         for _ in 0..5_000 {
-            let q = v.sample_from_class(QueryClass::NaOnly, 2, &mut rng);
+            let q = v
+                .sample_from_class(QueryClass::NaOnly, 2, &mut rng)
+                .resolve();
             assert!(day_set.contains(q), "query {q} outside day set");
             if q == top1 {
                 head_hits += 1;
@@ -470,9 +493,15 @@ mod tests {
     fn deterministic_given_seed() {
         let a = Vocabulary::build(8, small_config());
         let b = Vocabulary::build(8, small_config());
-        assert_eq!(a.day_set(QueryClass::EuOnly, 1), b.day_set(QueryClass::EuOnly, 1));
+        assert_eq!(
+            a.day_set(QueryClass::EuOnly, 1),
+            b.day_set(QueryClass::EuOnly, 1)
+        );
         let c = Vocabulary::build(9, small_config());
-        assert_ne!(a.day_set(QueryClass::EuOnly, 1), c.day_set(QueryClass::EuOnly, 1));
+        assert_ne!(
+            a.day_set(QueryClass::EuOnly, 1),
+            c.day_set(QueryClass::EuOnly, 1)
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Generator throughput: events/second of the Figure 12 algorithm.
+//! Generator throughput: events/second of the Figure 12 algorithm, plus
+//! the interned-vocabulary hot path (query sampling and symbol resolution).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use p2pq::{GeneratorConfig, WorkloadGenerator, WorkloadModel};
@@ -52,5 +53,92 @@ fn bench_generator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_generator);
+/// The per-query hot path after interning: sampling returns a `Copy`
+/// [`gnutella::QueryId`] (no allocation), and resolving it back to text is
+/// a read-locked table lookup yielding a `&'static str`.
+fn bench_vocabulary(c: &mut Criterion) {
+    use behavior::{Vocabulary, VocabularyConfig};
+    use geoip::Region;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let vocab = Vocabulary::build(
+        7,
+        VocabularyConfig {
+            n_days: 8,
+            ..VocabularyConfig::default()
+        },
+    );
+    let mut group = c.benchmark_group("vocabulary");
+    group.throughput(Throughput::Elements(10_000));
+    for (name, region) in [
+        ("na", Region::NorthAmerica),
+        ("eu", Region::Europe),
+        ("asia", Region::Asia),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("sample_interned", name),
+            &region,
+            |b, &region| {
+                let mut rng = StdRng::seed_from_u64(11);
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for i in 0..10_000usize {
+                        let id = vocab.sample_query(region, i % 8, &mut rng);
+                        acc = acc.wrapping_add(u64::from(id.raw()));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.bench_function("resolve_static_str", |b| {
+        let mut rng = StdRng::seed_from_u64(13);
+        let ids: Vec<gnutella::QueryId> = (0..10_000usize)
+            .map(|i| vocab.sample_query(Region::NorthAmerica, i % 8, &mut rng))
+            .collect();
+        b.iter(|| {
+            let mut len = 0usize;
+            for id in &ids {
+                len += id.resolve().len();
+            }
+            black_box(len)
+        })
+    });
+    group.bench_function("canonical_keyword_set", |b| {
+        let mut rng = StdRng::seed_from_u64(17);
+        let ids: Vec<gnutella::QueryId> = (0..10_000usize)
+            .map(|i| vocab.sample_query(Region::Europe, i % 8, &mut rng))
+            .collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in &ids {
+                acc = acc.wrapping_add(u64::from(id.canonical().raw()));
+            }
+            black_box(acc)
+        })
+    });
+    // The pre-interning baseline: canonicalizing the keyword set from the
+    // query string on every use (what filter rule 2 and popularity ranking
+    // did per message before `QueryId` stored the canonical id).
+    group.bench_function("canonical_keyword_set_string_baseline", |b| {
+        let mut rng = StdRng::seed_from_u64(17);
+        let texts: Vec<&'static str> = (0..10_000usize)
+            .map(|i| {
+                vocab
+                    .sample_query(Region::Europe, i % 8, &mut rng)
+                    .resolve()
+            })
+            .collect();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in &texts {
+                acc += gnutella::QueryKey::new(t).as_str().len();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator, bench_vocabulary);
 criterion_main!(benches);

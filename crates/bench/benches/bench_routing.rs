@@ -26,8 +26,7 @@ fn bench_routing(c: &mut Criterion) {
             &expiry_secs,
             |b, &expiry_secs| {
                 b.iter(|| {
-                    let mut rt =
-                        RoutingTable::with_expiry(SimDuration::from_secs(expiry_secs));
+                    let mut rt = RoutingTable::with_expiry(SimDuration::from_secs(expiry_secs));
                     for (i, g) in guids.iter().enumerate() {
                         rt.insert(*g, NodeId(1), SimTime::from_millis(i as u64 * 50));
                     }

@@ -1,0 +1,165 @@
+//! Population-campaign throughput harness.
+//!
+//! Times the full measurement pipeline — sharded campaign simulation,
+//! filtering, and per-day popularity collection — at one or more scales
+//! and shard counts, and writes the machine-readable report to
+//! `BENCH_POPULATION.json` (override with the first CLI argument).
+//!
+//! Environment knobs:
+//!
+//! * `P2PQ_PERF_SCALES` — comma-separated subset of `smoke,default`
+//!   (default: `smoke,default`).
+//! * `P2PQ_PERF_SHARDS` — comma-separated shard counts (default: `1,2,4`).
+//!
+//! Shard counts beyond the machine's core count cannot speed anything up;
+//! the report records `cores` so the numbers are interpreted honestly.
+
+use analysis::filter::apply_filters;
+use analysis::popularity::DailyObservations;
+use behavior::run_population_sharded;
+use bench_support::Scale;
+use geoip::GeoDb;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed campaign at a fixed scale and shard count.
+#[derive(Debug, Clone, Serialize)]
+struct PerfRun {
+    scale: String,
+    shards: usize,
+    days: f64,
+    sessions_per_day: f64,
+    sessions: u64,
+    messages: u64,
+    filtered_sessions: u64,
+    campaign_secs: f64,
+    filter_secs: f64,
+    popularity_secs: f64,
+    total_secs: f64,
+    sessions_per_sec: f64,
+    messages_per_sec: f64,
+    /// Campaign wall time of the 1-shard run at this scale divided by this
+    /// run's campaign wall time (1.0 for the baseline itself).
+    campaign_speedup_vs_1_shard: f64,
+}
+
+/// The whole report, one JSON object.
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    generated_by: String,
+    cores: u64,
+    scales: Vec<String>,
+    shard_counts: Vec<u64>,
+    note: String,
+    runs: Vec<PerfRun>,
+}
+
+fn scale_by_name(name: &str) -> Option<Scale> {
+    match name {
+        "smoke" => Some(Scale::Smoke),
+        "default" => Some(Scale::Default),
+        "cap200" => Some(Scale::Cap200),
+        "full" => Some(Scale::Full),
+        _ => None,
+    }
+}
+
+fn env_list(var: &str, default: &str) -> Vec<String> {
+    std::env::var(var)
+        .unwrap_or_else(|_| default.to_string())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn time_one(scale_name: &str, scale: Scale, shards: usize, baseline_secs: Option<f64>) -> PerfRun {
+    let cfg = scale.population();
+    eprintln!(
+        "[perf] {scale_name}: {} day(s) × {} sessions/day, {shards} shard(s)…",
+        cfg.days, cfg.sessions_per_day
+    );
+
+    let t0 = Instant::now();
+    let trace = run_population_sharded(&cfg, shards);
+    let campaign_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let db = GeoDb::synthetic();
+    let ft = apply_filters(&trace, &db);
+    let filter_secs = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let obs = DailyObservations::collect(&ft);
+    let popularity_secs = t2.elapsed().as_secs_f64();
+
+    let total_secs = t0.elapsed().as_secs_f64();
+    let sessions = trace.connections.len() as u64;
+    let messages = trace.messages.len() as u64;
+    eprintln!(
+        "[perf]   campaign {campaign_secs:.2}s, filter {filter_secs:.2}s, \
+         popularity {popularity_secs:.2}s ({sessions} sessions, {messages} messages, \
+         {} observed days)",
+        obs.n_days()
+    );
+
+    PerfRun {
+        scale: scale_name.to_string(),
+        shards,
+        days: cfg.days,
+        sessions_per_day: cfg.sessions_per_day,
+        sessions,
+        messages,
+        filtered_sessions: ft.sessions.len() as u64,
+        campaign_secs,
+        filter_secs,
+        popularity_secs,
+        total_secs,
+        sessions_per_sec: sessions as f64 / campaign_secs.max(1e-9),
+        messages_per_sec: messages as f64 / campaign_secs.max(1e-9),
+        campaign_speedup_vs_1_shard: baseline_secs.map_or(1.0, |b| b / campaign_secs.max(1e-9)),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_POPULATION.json".to_string());
+    let scales = env_list("P2PQ_PERF_SCALES", "smoke,default");
+    let shard_counts: Vec<usize> = env_list("P2PQ_PERF_SHARDS", "1,2,4")
+        .iter()
+        .map(|s| s.parse().expect("P2PQ_PERF_SHARDS must be integers"))
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
+
+    let mut runs = Vec::new();
+    for scale_name in &scales {
+        let scale = scale_by_name(scale_name)
+            .unwrap_or_else(|| panic!("unknown scale {scale_name:?} in P2PQ_PERF_SCALES"));
+        let mut baseline: Option<f64> = None;
+        for &shards in &shard_counts {
+            let run = time_one(scale_name, scale, shards, baseline);
+            if shards == 1 {
+                baseline = Some(run.campaign_secs);
+            }
+            runs.push(run);
+        }
+    }
+
+    let report = PerfReport {
+        generated_by: "p2pq-bench perf".to_string(),
+        cores,
+        scales,
+        shard_counts: shard_counts.iter().map(|&s| s as u64).collect(),
+        note: format!(
+            "Sharded campaigns run one OS thread per shard; speedups above 1.0 \
+             require more than one core (this machine reports {cores}). The merged \
+             trace is bit-identical across repeated runs at a fixed shard count."
+        ),
+        runs,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize perf report");
+    std::fs::write(&out_path, json + "\n").expect("write perf report");
+    eprintln!("[perf] wrote {out_path}");
+}

@@ -4,7 +4,7 @@ use crate::render::compare;
 use crate::ExperimentContext;
 use analysis::popularity::{self, GeoClass};
 use geoip::Region;
-use gnutella::QueryKey;
+use gnutella::QueryId;
 use simnet::SimTime;
 use stats::fit::fit_zipf;
 use stats::ks::ks_two_sample;
@@ -24,13 +24,13 @@ pub fn filters_onoff(ctx: &ExperimentContext) -> String {
     // all — repeats, SHA1-with-keywords and quick-session traffic included),
     // restricted to NA peers, per day, then averaged by rank like Fig 11.
     let sessions = trace::Sessions::from_trace(&ctx.trace);
-    let mut per_day: Vec<HashMap<QueryKey, u64>> = Vec::new();
+    let mut per_day: Vec<HashMap<QueryId, u64>> = Vec::new();
     for view in sessions.iter() {
         if ctx.db.lookup(view.addr) != Region::NorthAmerica {
             continue;
         }
         for q in &view.queries {
-            let key = QueryKey::new(&q.text);
+            let key = q.text.canonical();
             if key.is_empty() {
                 continue;
             }
@@ -50,7 +50,7 @@ pub fn filters_onoff(ctx: &ExperimentContext) -> String {
         }
         days += 1;
         let total: u64 = counts.values().sum();
-        let mut v: Vec<(&QueryKey, &u64)> = counts.iter().collect();
+        let mut v: Vec<(&QueryId, &u64)> = counts.iter().collect();
         v.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
         for (rank, (_, n)) in v.into_iter().take(max_rank).enumerate() {
             sums[rank] += *n as f64 / total as f64;
@@ -143,8 +143,12 @@ pub fn conditional_vs_aggregate(ctx: &ExperimentContext) -> String {
         let fc = counts(&full_sessions);
         let ac = counts(&agg_sessions);
         if measured.len() > 20 && fc.len() > 20 && ac.len() > 20 {
-            let d_full = ks_two_sample(&measured, &fc).map(|k| k.statistic).unwrap_or(f64::NAN);
-            let d_agg = ks_two_sample(&measured, &ac).map(|k| k.statistic).unwrap_or(f64::NAN);
+            let d_full = ks_two_sample(&measured, &fc)
+                .map(|k| k.statistic)
+                .unwrap_or(f64::NAN);
+            let d_agg = ks_two_sample(&measured, &ac)
+                .map(|k| k.statistic)
+                .unwrap_or(f64::NAN);
             out.push_str(&compare(
                 &format!("#queries KS vs measured, {} ", region.code()),
                 "conditional < aggregate",
@@ -169,13 +173,13 @@ pub fn hotset_onoff(ctx: &ExperimentContext) -> String {
     let per_day_fit = popularity::fit_popularity(&per_day);
 
     // Whole-trace ranking: pool all days of NA-only queries, rank once.
-    let mut pooled: HashMap<QueryKey, u64> = HashMap::new();
+    let mut pooled: HashMap<QueryId, u64> = HashMap::new();
     for day in 0..ctx.obs.n_days() {
         let classes = ctx.obs.classify_day(day);
         if let Some(counts) = ctx.obs.day_counts(Region::NorthAmerica, day) {
             for (key, n) in counts {
                 if classes.get(key) == Some(&GeoClass::NaOnly) {
-                    *pooled.entry(key.clone()).or_insert(0) += n;
+                    *pooled.entry(*key).or_insert(0) += n;
                 }
             }
         }
@@ -219,4 +223,3 @@ pub fn hotset_onoff(ctx: &ExperimentContext) -> String {
     );
     out
 }
-

@@ -40,7 +40,10 @@ pub fn table_a1(ctx: &ExperimentContext) -> String {
                 out.push_str(&compare("  body", body_paper, &fit.body.describe()));
                 out.push_str(&compare("  tail", tail_paper, &fit.tail.describe()));
             }
-            Err(e) => out.push_str(&format!("{} period: fit unavailable ({e})\n", period_name(peak))),
+            Err(e) => out.push_str(&format!(
+                "{} period: fit unavailable ({e})\n",
+                period_name(peak)
+            )),
         }
     }
     out.push_str(
@@ -87,12 +90,42 @@ pub fn table_a3(ctx: &ExperimentContext) -> String {
     let mut out = String::new();
     out.push_str("Time until first query, North American peers\n\n");
     let paper = [
-        (true, first_query::CountClass::Lt3, "α=1.477 λ=0.005252", "σ=2.905 µ=5.091"),
-        (true, first_query::CountClass::Eq3, "α=1.261 λ=0.01081", "σ=2.045 µ=6.303"),
-        (true, first_query::CountClass::Gt3, "α=0.9821 λ=0.02662", "σ=2.359 µ=6.301"),
-        (false, first_query::CountClass::Lt3, "α=1.159 λ=0.01779", "σ=3.384 µ=5.144"),
-        (false, first_query::CountClass::Eq3, "α=1.207 λ=0.01446", "σ=2.324 µ=6.400"),
-        (false, first_query::CountClass::Gt3, "α=0.9351 λ=0.03380", "σ=2.463 µ=7.186"),
+        (
+            true,
+            first_query::CountClass::Lt3,
+            "α=1.477 λ=0.005252",
+            "σ=2.905 µ=5.091",
+        ),
+        (
+            true,
+            first_query::CountClass::Eq3,
+            "α=1.261 λ=0.01081",
+            "σ=2.045 µ=6.303",
+        ),
+        (
+            true,
+            first_query::CountClass::Gt3,
+            "α=0.9821 λ=0.02662",
+            "σ=2.359 µ=6.301",
+        ),
+        (
+            false,
+            first_query::CountClass::Lt3,
+            "α=1.159 λ=0.01779",
+            "σ=3.384 µ=5.144",
+        ),
+        (
+            false,
+            first_query::CountClass::Eq3,
+            "α=1.207 λ=0.01446",
+            "σ=2.324 µ=6.400",
+        ),
+        (
+            false,
+            first_query::CountClass::Gt3,
+            "α=0.9351 λ=0.03380",
+            "σ=2.463 µ=7.186",
+        ),
     ];
     for (peak, class, body_paper, tail_paper) in paper {
         match first_query::fit_first_query(&ctx.ft, Region::NorthAmerica, peak, class, &ctx.diurnal)
@@ -104,8 +137,16 @@ pub fn table_a3(ctx: &ExperimentContext) -> String {
                     class.label(),
                     fit.n_body + fit.n_tail
                 ));
-                out.push_str(&compare("  body (Weibull)", body_paper, &fit.body.describe()));
-                out.push_str(&compare("  tail (Lognormal)", tail_paper, &fit.tail.describe()));
+                out.push_str(&compare(
+                    "  body (Weibull)",
+                    body_paper,
+                    &fit.body.describe(),
+                ));
+                out.push_str(&compare(
+                    "  tail (Lognormal)",
+                    tail_paper,
+                    &fit.tail.describe(),
+                ));
             }
             Err(e) => out.push_str(&format!(
                 "{} / {}: fit unavailable ({e})\n",
@@ -133,8 +174,16 @@ pub fn table_a4(ctx: &ExperimentContext) -> String {
                     period_name(peak),
                     fit.n_body + fit.n_tail
                 ));
-                out.push_str(&compare("  body (Lognormal)", body_paper, &fit.body.describe()));
-                out.push_str(&compare("  tail (Pareto)", tail_paper, &fit.tail.describe()));
+                out.push_str(&compare(
+                    "  body (Lognormal)",
+                    body_paper,
+                    &fit.body.describe(),
+                ));
+                out.push_str(&compare(
+                    "  tail (Pareto)",
+                    tail_paper,
+                    &fit.tail.describe(),
+                ));
                 if let SideFit::Pareto(p) = fit.tail {
                     if peak {
                         out.push_str(&compare(
@@ -145,7 +194,10 @@ pub fn table_a4(ctx: &ExperimentContext) -> String {
                     }
                 }
             }
-            Err(e) => out.push_str(&format!("{} period: fit unavailable ({e})\n", period_name(peak))),
+            Err(e) => out.push_str(&format!(
+                "{} period: fit unavailable ({e})\n",
+                period_name(peak)
+            )),
         }
     }
     out
@@ -165,8 +217,13 @@ pub fn table_a5(ctx: &ExperimentContext) -> String {
     ];
     let mut medians = Vec::new();
     for (peak, class, reference) in paper {
-        match last_query::fit_time_after_last(&ctx.ft, Region::NorthAmerica, peak, class, &ctx.diurnal)
-        {
+        match last_query::fit_time_after_last(
+            &ctx.ft,
+            Region::NorthAmerica,
+            peak,
+            class,
+            &ctx.diurnal,
+        ) {
             Ok(fit) => {
                 out.push_str(&compare(
                     &format!("{} / {}", period_name(peak), class.label()),
@@ -240,9 +297,7 @@ pub fn fig_a1(ctx: &ExperimentContext) -> String {
             .filter(|&t| t > 0.0)
             .collect();
         if let (SideFit::Weibull(b), SideFit::Lognormal(t)) = (fit.body, fit.tail) {
-            if let Ok(composite) =
-                stats::dist::BodyTail::new(b, t, fit.split, fit.body_weight)
-            {
+            if let Ok(composite) = stats::dist::BodyTail::new(b, t, fit.split, fit.body_weight) {
                 if let Ok(ks) = ks_one_sample(&samples, &composite) {
                     out.push_str(&compare(
                         "(b) first-query delay vs Weibull‖lognormal",

@@ -2,7 +2,9 @@
 
 use crate::render::{compare, probes_header, series_probes, tod_series};
 use crate::ExperimentContext;
-use analysis::characterize::{first_query, interarrival, last_query, passive, passive_fraction, queries};
+use analysis::characterize::{
+    first_query, interarrival, last_query, passive, passive_fraction, queries,
+};
 use analysis::load;
 use analysis::popularity::{self, GeoClass};
 use analysis::representative;
@@ -31,7 +33,11 @@ pub fn fig02(ctx: &ExperimentContext) -> String {
     let p = representative::shared_files_representativeness(&ctx.trace);
     let mut out = String::new();
     out.push_str("Fraction of peers sharing k files (log-scale in the paper):\n");
-    out.push_str(&probes_header("shared files", &[0.0, 1.0, 5.0, 10.0, 50.0, 100.0], ""));
+    out.push_str(&probes_header(
+        "shared files",
+        &[0.0, 1.0, 5.0, 10.0, 50.0, 100.0],
+        "",
+    ));
     for s in [&p.one_hop, &p.all_peers] {
         let mut row = format!("  {:<28}", s.label);
         for &k in &[0usize, 1, 5, 10, 50, 100] {
@@ -233,7 +239,11 @@ pub fn fig10(ctx: &ExperimentContext) -> String {
     let mut out = String::new();
     out.push_str("Fraction of days with > x of the day-n group in day-(n+1) top N\n");
     out.push_str("(North American peers)\n\n");
-    for (group, label) in [((1usize, 10usize), "(a) top 10"), ((11, 20), "(b) rank 11-20"), ((21, 100), "(c) rank 21-100")] {
+    for (group, label) in [
+        ((1usize, 10usize), "(a) top 10"),
+        ((11, 20), "(b) rank 11-20"),
+        ((21, 100), "(c) rank 21-100"),
+    ] {
         out.push_str(&format!("{label} on day n:\n"));
         for n_next in [10usize, 20, 100] {
             let s = popularity::hot_set_drift(&ctx.obs, Region::NorthAmerica, group, n_next);
@@ -260,7 +270,11 @@ pub fn fig11(ctx: &ExperimentContext) -> String {
     let cases = [
         (GeoClass::NaOnly, "α = 0.386", false),
         (GeoClass::EuOnly, "α = 0.223", false),
-        (GeoClass::NaEu, "body α = 0.453 (1-45), tail α = 4.67 (46-100)", true),
+        (
+            GeoClass::NaEu,
+            "body α = 0.453 (1-45), tail α = 4.67 (46-100)",
+            true,
+        ),
     ];
     for (class, reference, two_piece) in cases {
         let (series, volume) = popularity::per_day_popularity_with_volume(&ctx.obs, class, 100);

@@ -150,32 +150,136 @@ pub struct Experiment {
 pub fn registry() -> Vec<Experiment> {
     use experiments::*;
     vec![
-        Experiment { id: "table1", title: "Table 1 — Overall trace characteristics", run: tables::table1 },
-        Experiment { id: "table2", title: "Table 2 — Filtered queries", run: tables::table2 },
-        Experiment { id: "table3", title: "Table 3 — Query class sizes", run: tables::table3 },
-        Experiment { id: "tablea1", title: "Table A.1 — Passive session duration fits", run: appendix::table_a1 },
-        Experiment { id: "tablea2", title: "Table A.2 — Queries per active session fits", run: appendix::table_a2 },
-        Experiment { id: "tablea3", title: "Table A.3 — Time until first query fits", run: appendix::table_a3 },
-        Experiment { id: "tablea4", title: "Table A.4 — Query interarrival fits", run: appendix::table_a4 },
-        Experiment { id: "tablea5", title: "Table A.5 — Time after last query fits", run: appendix::table_a5 },
-        Experiment { id: "fig01", title: "Figure 1 — One-hop vs all peers: geography", run: figures::fig01 },
-        Experiment { id: "fig02", title: "Figure 2 — One-hop vs all peers: shared files", run: figures::fig02 },
-        Experiment { id: "fig03", title: "Figure 3 — Query load vs time of day", run: figures::fig03 },
-        Experiment { id: "fig04", title: "Figure 4 — Fraction of passive peers", run: figures::fig04 },
-        Experiment { id: "fig05", title: "Figure 5 — Passive session duration CCDFs", run: figures::fig05 },
-        Experiment { id: "fig06", title: "Figure 6 — Queries per active session CCDFs", run: figures::fig06 },
-        Experiment { id: "fig07", title: "Figure 7 — Time until first query CCDFs", run: figures::fig07 },
-        Experiment { id: "fig08", title: "Figure 8 — Query interarrival CCDFs", run: figures::fig08 },
-        Experiment { id: "fig09", title: "Figure 9 — Time after last query CCDFs", run: figures::fig09 },
-        Experiment { id: "fig10", title: "Figure 10 — Hot-set drift", run: figures::fig10 },
-        Experiment { id: "fig11", title: "Figure 11 — Per-day query popularity (Zipf)", run: figures::fig11 },
-        Experiment { id: "figa1", title: "Figure A.1 — Fitted vs measured CCDFs", run: appendix::fig_a1 },
-        Experiment { id: "generator", title: "Figure 12 — Generator validation", run: generator::generator_validation },
-        Experiment { id: "correlations", title: "§4.5 correlations — duration vs #queries; interarrival vs #queries", run: generator::correlations_experiment },
-        Experiment { id: "hitrate", title: "Extension — §5 future work: query hit rate", run: generator::hit_rate_extension },
-        Experiment { id: "ablation_filters", title: "Ablation — filters on/off vs Zipf exponent", run: ablations::filters_onoff },
-        Experiment { id: "ablation_conditionals", title: "Ablation — conditional vs aggregate model", run: ablations::conditional_vs_aggregate },
-        Experiment { id: "ablation_hotset", title: "Ablation — per-day vs whole-trace ranking", run: ablations::hotset_onoff },
+        Experiment {
+            id: "table1",
+            title: "Table 1 — Overall trace characteristics",
+            run: tables::table1,
+        },
+        Experiment {
+            id: "table2",
+            title: "Table 2 — Filtered queries",
+            run: tables::table2,
+        },
+        Experiment {
+            id: "table3",
+            title: "Table 3 — Query class sizes",
+            run: tables::table3,
+        },
+        Experiment {
+            id: "tablea1",
+            title: "Table A.1 — Passive session duration fits",
+            run: appendix::table_a1,
+        },
+        Experiment {
+            id: "tablea2",
+            title: "Table A.2 — Queries per active session fits",
+            run: appendix::table_a2,
+        },
+        Experiment {
+            id: "tablea3",
+            title: "Table A.3 — Time until first query fits",
+            run: appendix::table_a3,
+        },
+        Experiment {
+            id: "tablea4",
+            title: "Table A.4 — Query interarrival fits",
+            run: appendix::table_a4,
+        },
+        Experiment {
+            id: "tablea5",
+            title: "Table A.5 — Time after last query fits",
+            run: appendix::table_a5,
+        },
+        Experiment {
+            id: "fig01",
+            title: "Figure 1 — One-hop vs all peers: geography",
+            run: figures::fig01,
+        },
+        Experiment {
+            id: "fig02",
+            title: "Figure 2 — One-hop vs all peers: shared files",
+            run: figures::fig02,
+        },
+        Experiment {
+            id: "fig03",
+            title: "Figure 3 — Query load vs time of day",
+            run: figures::fig03,
+        },
+        Experiment {
+            id: "fig04",
+            title: "Figure 4 — Fraction of passive peers",
+            run: figures::fig04,
+        },
+        Experiment {
+            id: "fig05",
+            title: "Figure 5 — Passive session duration CCDFs",
+            run: figures::fig05,
+        },
+        Experiment {
+            id: "fig06",
+            title: "Figure 6 — Queries per active session CCDFs",
+            run: figures::fig06,
+        },
+        Experiment {
+            id: "fig07",
+            title: "Figure 7 — Time until first query CCDFs",
+            run: figures::fig07,
+        },
+        Experiment {
+            id: "fig08",
+            title: "Figure 8 — Query interarrival CCDFs",
+            run: figures::fig08,
+        },
+        Experiment {
+            id: "fig09",
+            title: "Figure 9 — Time after last query CCDFs",
+            run: figures::fig09,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Figure 10 — Hot-set drift",
+            run: figures::fig10,
+        },
+        Experiment {
+            id: "fig11",
+            title: "Figure 11 — Per-day query popularity (Zipf)",
+            run: figures::fig11,
+        },
+        Experiment {
+            id: "figa1",
+            title: "Figure A.1 — Fitted vs measured CCDFs",
+            run: appendix::fig_a1,
+        },
+        Experiment {
+            id: "generator",
+            title: "Figure 12 — Generator validation",
+            run: generator::generator_validation,
+        },
+        Experiment {
+            id: "correlations",
+            title: "§4.5 correlations — duration vs #queries; interarrival vs #queries",
+            run: generator::correlations_experiment,
+        },
+        Experiment {
+            id: "hitrate",
+            title: "Extension — §5 future work: query hit rate",
+            run: generator::hit_rate_extension,
+        },
+        Experiment {
+            id: "ablation_filters",
+            title: "Ablation — filters on/off vs Zipf exponent",
+            run: ablations::filters_onoff,
+        },
+        Experiment {
+            id: "ablation_conditionals",
+            title: "Ablation — conditional vs aggregate model",
+            run: ablations::conditional_vs_aggregate,
+        },
+        Experiment {
+            id: "ablation_hotset",
+            title: "Ablation — per-day vs whole-trace ranking",
+            run: ablations::hotset_onoff,
+        },
     ]
 }
 

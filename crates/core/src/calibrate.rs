@@ -7,10 +7,12 @@
 //! [`CalibrationReport`] records the provenance of every field.
 
 use crate::model::{
-    BodyTailParams, LognormalParams, ParetoParams, QueryClass, RankLawParams,
-    WeibullParams, WorkloadModel,
+    BodyTailParams, LognormalParams, ParetoParams, QueryClass, RankLawParams, WeibullParams,
+    WorkloadModel,
 };
-use analysis::characterize::{first_query, interarrival, last_query, passive, passive_fraction, queries};
+use analysis::characterize::{
+    first_query, interarrival, last_query, passive, passive_fraction, queries,
+};
 use analysis::filter::FilteredTrace;
 use analysis::popularity::{self, DailyObservations, GeoClass};
 use geoip::Region;
@@ -97,7 +99,11 @@ pub fn calibrate(ft: &FilteredTrace) -> (WorkloadModel, CalibrationReport) {
         if n >= MIN_SAMPLES {
             let p = passive_fraction::passive_fraction_by_hour(ft, region);
             model.passive_prob[region.index()] = p.overall;
-            report.fit(format!("passive_prob[{}] = {:.3}", region.code(), p.overall));
+            report.fit(format!(
+                "passive_prob[{}] = {:.3}",
+                region.code(),
+                p.overall
+            ));
         } else {
             report.default_kept(format!("passive_prob[{}]", region.code()));
         }
@@ -164,8 +170,7 @@ pub fn calibrate(ft: &FilteredTrace) -> (WorkloadModel, CalibrationReport) {
                 );
                 match first_query::fit_first_query(ft, region, peak, *class, &diurnal) {
                     Ok(fit) if fit.n_body + fit.n_tail >= MIN_SAMPLES => {
-                        if let (Some(body), Some(tail)) = (side_wb(&fit.body), side_ln(&fit.tail))
-                        {
+                        if let (Some(body), Some(tail)) = (side_wb(&fit.body), side_ln(&fit.tail)) {
                             model.first_query[region.index()][pi][ci] = BodyTailParams {
                                 split: fit.split,
                                 body_weight: fit.body_weight,
@@ -191,8 +196,7 @@ pub fn calibrate(ft: &FilteredTrace) -> (WorkloadModel, CalibrationReport) {
         for (pi, peak) in [(0usize, true), (1usize, false)] {
             match interarrival::fit_interarrival(ft, Region::NorthAmerica, peak, &diurnal) {
                 Ok(fit) if fit.n_body + fit.n_tail >= MIN_SAMPLES => {
-                    if let (Some(body), Some(tail)) = (side_ln(&fit.body), side_pareto(&fit.tail))
-                    {
+                    if let (Some(body), Some(tail)) = (side_ln(&fit.body), side_pareto(&fit.tail)) {
                         model.interarrival.body[pi] = body;
                         model.interarrival.tail[pi] = tail;
                         model.interarrival.body_weight[Region::NorthAmerica.index()] =
@@ -261,9 +265,15 @@ pub fn calibrate(ft: &FilteredTrace) -> (WorkloadModel, CalibrationReport) {
         for day in 0..n_days {
             let sizes = popularity::class_sizes(&obs, day, 1);
             let per_class = [
-                sizes.na.saturating_sub(sizes.na_eu + sizes.na_as - sizes.all),
-                sizes.eu.saturating_sub(sizes.na_eu + sizes.eu_as - sizes.all),
-                sizes.asia.saturating_sub(sizes.na_as + sizes.eu_as - sizes.all),
+                sizes
+                    .na
+                    .saturating_sub(sizes.na_eu + sizes.na_as - sizes.all),
+                sizes
+                    .eu
+                    .saturating_sub(sizes.na_eu + sizes.eu_as - sizes.all),
+                sizes
+                    .asia
+                    .saturating_sub(sizes.na_as + sizes.eu_as - sizes.all),
                 sizes.na_eu.saturating_sub(sizes.all),
                 sizes.na_as.saturating_sub(sizes.all),
                 sizes.eu_as.saturating_sub(sizes.all),
@@ -301,9 +311,14 @@ pub fn calibrate(ft: &FilteredTrace) -> (WorkloadModel, CalibrationReport) {
             let populated = series.ys().iter().filter(|&&y| y > 0.0).count();
             if populated >= 20 {
                 if let Ok(fit) = popularity::fit_popularity(&series) {
-                    model.popularity.classes[class.index()].law =
-                        RankLawParams::Zipf { alpha: fit.alpha.max(0.0) };
-                    report.fit(format!("popularity α[{}] = {:.3}", class.label(), fit.alpha));
+                    model.popularity.classes[class.index()].law = RankLawParams::Zipf {
+                        alpha: fit.alpha.max(0.0),
+                    };
+                    report.fit(format!(
+                        "popularity α[{}] = {:.3}",
+                        class.label(),
+                        fit.alpha
+                    ));
                     continue;
                 }
             }
@@ -436,7 +451,11 @@ mod tests {
             report: Default::default(),
         };
         let (model, report) = calibrate(&ft);
-        assert!(report.fitted.is_empty(), "nothing should fit: {:?}", report.fitted);
+        assert!(
+            report.fitted.is_empty(),
+            "nothing should fit: {:?}",
+            report.fitted
+        );
         assert_eq!(model, WorkloadModel::paper_default());
     }
 }

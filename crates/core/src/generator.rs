@@ -78,7 +78,10 @@ struct Slot {
 impl Ord for Slot {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for Slot {
@@ -439,7 +442,11 @@ mod tests {
             .filter(|s| s.region == Region::NorthAmerica && !s.is_passive())
             .map(|s| s.query_times.len() as u32)
             .collect();
-        assert!(counts.len() > 200, "only {} active NA sessions", counts.len());
+        assert!(
+            counts.len() > 200,
+            "only {} active NA sessions",
+            counts.len()
+        );
         // Table A.2 with ceil(): P(count < 5) = Φ((ln4 + 0.0673)/1.36)
         // ≈ 0.857 (the paper quotes ~80 % from the measured CCDF; its own
         // lognormal fit shows the same offset in Figure A.1(a)).
@@ -461,7 +468,10 @@ mod tests {
         let below = na_gaps.iter().filter(|&&g| g < 103.0).count() as f64 / na_gaps.len() as f64;
         // Figure 8(a): ~70 % of NA interarrivals below ~100 s (20:00 is
         // peak ⇒ body weight 0.70).
-        assert!((below - 0.70).abs() < 0.05, "NA below-103s fraction {below}");
+        assert!(
+            (below - 0.70).abs() < 0.05,
+            "NA below-103s fraction {below}"
+        );
     }
 
     #[test]
@@ -484,7 +494,10 @@ mod tests {
         assert!(total > 500);
         let frac = rank1 as f64 / total as f64;
         // Zipf(0.386, 1931): pmf(1) ≈ 0.0036; uniform would be 0.00052.
-        assert!(frac > 0.0015, "rank-1 fraction {frac} too low for a Zipf head");
+        assert!(
+            frac > 0.0015,
+            "rank-1 fraction {frac} too low for a Zipf head"
+        );
     }
 
     #[test]
@@ -506,10 +519,16 @@ mod tests {
     #[test]
     fn determinism() {
         let model = WorkloadModel::paper_default();
-        let a: Vec<_> = WorkloadGenerator::new(&model, small_cfg(10)).take(5_000).collect();
-        let b: Vec<_> = WorkloadGenerator::new(&model, small_cfg(10)).take(5_000).collect();
+        let a: Vec<_> = WorkloadGenerator::new(&model, small_cfg(10))
+            .take(5_000)
+            .collect();
+        let b: Vec<_> = WorkloadGenerator::new(&model, small_cfg(10))
+            .take(5_000)
+            .collect();
         assert_eq!(a, b);
-        let c: Vec<_> = WorkloadGenerator::new(&model, small_cfg(11)).take(5_000).collect();
+        let c: Vec<_> = WorkloadGenerator::new(&model, small_cfg(11))
+            .take(5_000)
+            .collect();
         assert_ne!(a, c);
     }
 

@@ -59,8 +59,8 @@ pub mod replay;
 pub use calibrate::{calibrate, CalibrationReport};
 pub use events::{collect_sessions, PeerId, QueryRef, SessionSummary, WorkloadEvent};
 pub use generator::{GeneratorConfig, WorkloadGenerator};
-pub use replay::{replay, ReplayStats};
 pub use model::{
     BodyTailParams, ClassMixParams, ClassPopularity, InterarrivalModel, LognormalParams,
     ParetoParams, PopularityModel, QueryClass, RankLawParams, WeibullParams, WorkloadModel,
 };
+pub use replay::{replay, ReplayStats};

@@ -9,7 +9,7 @@
 
 use geoip::{DiurnalModel, Region};
 use serde::{Deserialize, Serialize};
-use stats::dist::{BodyTail, Lognormal, Pareto, Truncated, Weibull, Zipf, TwoPieceZipf};
+use stats::dist::{BodyTail, Lognormal, Pareto, Truncated, TwoPieceZipf, Weibull, Zipf};
 use stats::StatsError;
 
 /// Lognormal parameters (σ, µ — appendix order).
@@ -319,7 +319,8 @@ pub struct WorkloadModel {
     /// Time until the first query (Table A.3), seconds:
     /// `[region][peak/non-peak][count class]`, Weibull body ‖ lognormal
     /// tail.
-    pub first_query: [[[BodyTailParams<WeibullParams, LognormalParams>; FIRST_QUERY_CLASSES]; 2]; 4],
+    pub first_query:
+        [[[BodyTailParams<WeibullParams, LognormalParams>; FIRST_QUERY_CLASSES]; 2]; 4],
     /// Query interarrival times (Table A.4 + Figure 8 conditioning).
     pub interarrival: InterarrivalModel,
     /// Time after the last query (Table A.5), seconds:
@@ -377,15 +378,13 @@ impl WorkloadModel {
 
         // --- Table A.3: time until first query ----------------------------
         let first_query = {
-            let mk = |w: f64,
-                      split: f64,
-                      body: (f64, f64),
-                      tail: (f64, f64),
-                      tail_shift: f64| BodyTailParams {
-                split,
-                body_weight: w,
-                body: wb(body.0, body.1),
-                tail: ln(tail.0 + tail_shift, tail.1),
+            let mk = |w: f64, split: f64, body: (f64, f64), tail: (f64, f64), tail_shift: f64| {
+                BodyTailParams {
+                    split,
+                    body_weight: w,
+                    body: wb(body.0, body.1),
+                    tail: ln(tail.0 + tail_shift, tail.1),
+                }
             };
             let per_region = |region: Region| {
                 let shift = match region {
@@ -593,9 +592,8 @@ impl WorkloadModel {
         peak: bool,
         n_queries: u32,
     ) -> Result<Lognormal, StatsError> {
-        self.time_after_last[region.index()][Self::period_index(peak)]
-            [last_query_class(n_queries)]
-        .dist()
+        self.time_after_last[region.index()][Self::period_index(peak)][last_query_class(n_queries)]
+            .dist()
     }
 
     /// Serialize to pretty JSON.

@@ -59,7 +59,7 @@ impl GeoDb {
         });
         // Keep sorted by descending prefix length so the first match is the
         // longest match.
-        self.entries.sort_by(|a, b| b.len.cmp(&a.len));
+        self.entries.sort_by_key(|e| std::cmp::Reverse(e.len));
     }
 
     /// Number of prefixes installed.
@@ -87,9 +87,16 @@ impl GeoDb {
     /// reproduction. /8 blocks, loosely patterned on 2004 registry space.
     pub fn synthetic() -> Self {
         let mut db = GeoDb::new();
-        let na8: &[u8] = &[12, 24, 63, 64, 65, 66, 67, 68, 69, 70, 71, 72, 73, 74, 75, 76, 96, 204, 205, 206, 207, 208, 209, 216];
-        let eu8: &[u8] = &[62, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91, 193, 194, 195, 212, 213, 217];
-        let as8: &[u8] = &[58, 59, 60, 61, 124, 125, 202, 203, 210, 211, 218, 219, 220, 221, 222];
+        let na8: &[u8] = &[
+            12, 24, 63, 64, 65, 66, 67, 68, 69, 70, 71, 72, 73, 74, 75, 76, 96, 204, 205, 206, 207,
+            208, 209, 216,
+        ];
+        let eu8: &[u8] = &[
+            62, 80, 81, 82, 83, 84, 85, 86, 87, 88, 89, 90, 91, 193, 194, 195, 212, 213, 217,
+        ];
+        let as8: &[u8] = &[
+            58, 59, 60, 61, 124, 125, 202, 203, 210, 211, 218, 219, 220, 221, 222,
+        ];
         let ot8: &[u8] = &[41, 154, 196, 200, 201];
         for &b in na8 {
             db.add_prefix(Ipv4Addr::new(b, 0, 0, 0), 8, Region::NorthAmerica);

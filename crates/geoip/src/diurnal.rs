@@ -150,7 +150,10 @@ impl DiurnalModel {
 
     /// The key period starting at `hour`, if any.
     pub fn key_period(&self, hour: u32) -> Option<KeyPeriod> {
-        KEY_PERIODS.iter().copied().find(|p| p.start_hour == hour % 24)
+        KEY_PERIODS
+            .iter()
+            .copied()
+            .find(|p| p.start_hour == hour % 24)
     }
 }
 

@@ -141,8 +141,7 @@ mod tests {
     #[test]
     fn render_parse_round_trip() {
         let mut h = Handshake::new("Mutella/0.4.5", true);
-        h.extra
-            .insert("x-query-routing".into(), "0.1".into());
+        h.extra.insert("x-query-routing".into(), "0.1".into());
         let parsed = Handshake::parse(&h.render()).unwrap();
         assert_eq!(parsed, h);
     }

@@ -16,6 +16,9 @@
 //!   routing of QUERYHITs;
 //! * [`query`] — query-identity semantics ("queries are identical if they
 //!   contain the same set of keywords", §3.2);
+//! * [`symbols`] — the interned query symbol table: every distinct query
+//!   string is stored once and handled as a `Copy` [`QueryId`] on the hot
+//!   generate → relay → record path;
 //! * [`peerlink`] — connection liveness per §3.2: 15 s idle ⇒ probe PING,
 //!   15 s more silence ⇒ close.
 
@@ -29,6 +32,7 @@ pub mod net;
 pub mod peerlink;
 pub mod query;
 pub mod routing;
+pub mod symbols;
 pub mod wire;
 
 pub use guid::Guid;
@@ -38,4 +42,5 @@ pub use net::NetMsg;
 pub use peerlink::{IdleAction, IdleTracker};
 pub use query::QueryKey;
 pub use routing::RoutingTable;
+pub use symbols::QueryId;
 pub use wire::{decode_message, encode_message, WireError};

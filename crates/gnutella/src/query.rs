@@ -17,10 +17,7 @@ pub struct QueryKey(String);
 impl QueryKey {
     /// Normalize a raw query string.
     pub fn new(text: &str) -> QueryKey {
-        let mut words: Vec<String> = text
-            .split_whitespace()
-            .map(|w| w.to_lowercase())
-            .collect();
+        let mut words: Vec<String> = text.split_whitespace().map(|w| w.to_lowercase()).collect();
         words.sort();
         words.dedup();
         QueryKey(words.join(" "))

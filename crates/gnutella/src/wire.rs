@@ -79,7 +79,7 @@ fn encode_payload(p: &Payload) -> Bytes {
         }
         Payload::Query(q) => {
             buf.put_u16_le(q.min_speed);
-            buf.put_slice(q.text.as_bytes());
+            buf.put_slice(q.text.resolve().as_bytes());
             buf.put_u8(0);
             if let Some(sha1) = &q.sha1 {
                 buf.put_slice(sha1.as_bytes());
@@ -154,6 +154,19 @@ fn take_cstring(body: &mut Bytes) -> Result<String, WireError> {
     String::from_utf8(s.to_vec()).map_err(|_| WireError::BadUtf8)
 }
 
+/// As [`take_cstring`] but interning directly from the borrowed bytes, so
+/// decoding a query whose text has been seen before allocates nothing.
+fn take_cstring_interned(body: &mut Bytes) -> Result<crate::QueryId, WireError> {
+    let pos = body
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(WireError::Malformed("missing NUL terminator"))?;
+    let s = body.split_to(pos);
+    body.advance(1); // the NUL
+    let text = std::str::from_utf8(&s).map_err(|_| WireError::BadUtf8)?;
+    Ok(crate::QueryId::intern(text))
+}
+
 fn decode_payload(type_byte: u8, body: &mut Bytes) -> Result<Payload, WireError> {
     match type_byte {
         0x00 => Ok(Payload::Ping),
@@ -185,7 +198,7 @@ fn decode_payload(type_byte: u8, body: &mut Bytes) -> Result<Payload, WireError>
                 return Err(WireError::Malformed("query payload too short"));
             }
             let min_speed = body.get_u16_le();
-            let text = take_cstring(body)?;
+            let text = take_cstring_interned(body)?;
             let sha1 = if body.is_empty() {
                 None
             } else {
@@ -284,7 +297,9 @@ mod tests {
         ));
         round_trip(&Message::originate(
             guid(4),
-            Payload::Query(Query::sha1_requery("urn:sha1:PLSTHIPQGSSZTS5FJUPAKUZWUGYQYPFB")),
+            Payload::Query(Query::sha1_requery(
+                "urn:sha1:PLSTHIPQGSSZTS5FJUPAKUZWUGYQYPFB",
+            )),
         ));
         // Unicode keywords survive.
         round_trip(&Message::originate(

@@ -120,7 +120,8 @@ impl<'a, M> Context<'a, M> {
     /// Send `msg` to `to`, delivered after `delay`.
     pub fn send_after(&mut self, to: NodeId, msg: M, delay: SimDuration) {
         let from = self.self_id;
-        self.queue.push(self.now + delay, Event::Deliver { from, to, msg });
+        self.queue
+            .push(self.now + delay, Event::Deliver { from, to, msg });
     }
 
     /// Send `msg` to `to` with delay drawn from `latency`.
@@ -132,7 +133,9 @@ impl<'a, M> Context<'a, M> {
     /// Arm a timer on the current node firing after `delay` with `tag`.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         let node = self.self_id;
-        let seq = self.queue.push(self.now + delay, Event::Timer { node, tag });
+        let seq = self
+            .queue
+            .push(self.now + delay, Event::Timer { node, tag });
         TimerId(seq)
     }
 
@@ -218,7 +221,9 @@ impl<M: 'static> Simulator<M> {
     /// Take a node out of the simulation entirely (post-run extraction of
     /// results, e.g. the measurement peer's trace).
     pub fn take_node(&mut self, id: NodeId) -> Option<Box<dyn Actor<Msg = M>>> {
-        self.nodes.get_mut(id.0 as usize).and_then(|slot| slot.take())
+        self.nodes
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.take())
     }
 
     fn run_on_start(&mut self, id: NodeId) {
@@ -441,7 +446,12 @@ mod tests {
 
     impl Actor for Child {
         type Msg = &'static str;
-        fn on_message(&mut self, ctx: &mut Context<'_, &'static str>, _from: NodeId, msg: &'static str) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, &'static str>,
+            _from: NodeId,
+            msg: &'static str,
+        ) {
             if msg == "die" {
                 ctx.remove_self();
             }
@@ -457,7 +467,13 @@ mod tests {
             ctx.send_after(child, "die", SimDuration::from_millis(5));
             ctx.send_after(child, "late", SimDuration::from_millis(10));
         }
-        fn on_message(&mut self, _ctx: &mut Context<'_, &'static str>, _from: NodeId, _msg: &'static str) {}
+        fn on_message(
+            &mut self,
+            _ctx: &mut Context<'_, &'static str>,
+            _from: NodeId,
+            _msg: &'static str,
+        ) {
+        }
         fn on_timer(&mut self, _ctx: &mut Context<'_, &'static str>, _tag: u64) {}
     }
 

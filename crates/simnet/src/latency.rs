@@ -53,7 +53,14 @@ impl LatencyModel {
             LatencyModel::BasePlusJitter {
                 base_millis,
                 jitter_millis,
-            } => base_millis + if jitter_millis == 0 { 0 } else { rng.gen_range(0..=jitter_millis) },
+            } => {
+                base_millis
+                    + if jitter_millis == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..=jitter_millis)
+                    }
+            }
         };
         SimDuration::from_millis(ms)
     }

@@ -212,7 +212,8 @@ mod tests {
     #[test]
     fn day_arithmetic() {
         // 2 days + 3 hours + 30 minutes.
-        let t = SimTime::from_millis(2 * MILLIS_PER_DAY + 3 * MILLIS_PER_HOUR + 30 * MILLIS_PER_MIN);
+        let t =
+            SimTime::from_millis(2 * MILLIS_PER_DAY + 3 * MILLIS_PER_HOUR + 30 * MILLIS_PER_MIN);
         assert_eq!(t.day(), 2);
         assert_eq!(t.hour_of_day(), 3);
         assert!((t.hour_of_day_f64() - 3.5).abs() < 1e-12);
@@ -244,7 +245,8 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let t = SimTime::from_millis(MILLIS_PER_DAY + 2 * MILLIS_PER_HOUR + 3 * MILLIS_PER_MIN + 4_567);
+        let t =
+            SimTime::from_millis(MILLIS_PER_DAY + 2 * MILLIS_PER_HOUR + 3 * MILLIS_PER_MIN + 4_567);
         assert_eq!(t.to_string(), "d1 02:03:04.567");
         assert_eq!(SimDuration::from_millis(1_500).to_string(), "1.500s");
     }

@@ -104,8 +104,12 @@ mod tests {
     #[test]
     fn independent_streams_near_zero() {
         // Deterministic pseudo-independent sequences.
-        let xs: Vec<f64> = (0u64..2000).map(|i| ((i * 7919) % 104_729) as f64).collect();
-        let ys: Vec<f64> = (0u64..2000).map(|i| ((i * 15_485_863) % 32_452_843) as f64).collect();
+        let xs: Vec<f64> = (0u64..2000)
+            .map(|i| ((i * 7919) % 104_729) as f64)
+            .collect();
+        let ys: Vec<f64> = (0u64..2000)
+            .map(|i| ((i * 15_485_863) % 32_452_843) as f64)
+            .collect();
         let r = spearman(&xs, &ys).unwrap();
         assert!(r.abs() < 0.1, "spearman {r} should be near zero");
     }

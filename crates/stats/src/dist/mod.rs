@@ -131,7 +131,10 @@ pub(crate) mod test_util {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for &x in &sorted {
             let c = dist.cdf(x);
-            assert!((0.0..=1.0 + 1e-12).contains(&c), "cdf({x}) = {c} out of range");
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&c),
+                "cdf({x}) = {c} out of range"
+            );
             assert!(c >= prev - 1e-12, "cdf not monotone at {x}: {c} < {prev}");
             prev = c;
             // CCDF complements CDF.

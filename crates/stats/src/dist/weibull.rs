@@ -86,7 +86,9 @@ impl Continuous for Weibull {
                 f64::INFINITY
             };
         }
-        self.lambda * self.alpha * x.powf(self.alpha - 1.0)
+        self.lambda
+            * self.alpha
+            * x.powf(self.alpha - 1.0)
             * (-self.lambda * x.powf(self.alpha)).exp()
     }
 

@@ -148,7 +148,12 @@ pub struct TwoPieceZipf {
 
 impl TwoPieceZipf {
     /// Construct over ranks `1..=n` with a break after `break_rank`.
-    pub fn new(alpha_body: f64, alpha_tail: f64, break_rank: u64, n: u64) -> Result<Self, StatsError> {
+    pub fn new(
+        alpha_body: f64,
+        alpha_tail: f64,
+        break_rank: u64,
+        n: u64,
+    ) -> Result<Self, StatsError> {
         if !(alpha_body.is_finite() && alpha_body >= 0.0) {
             return Err(StatsError::BadParameter {
                 name: "alpha_body",
@@ -354,7 +359,10 @@ mod tests {
         assert!((r_tail - 2f64.powf(4.67)).abs() < 1e-6);
         // Continuity at the break: pmf(45) / pmf(46) close to the body ratio.
         let jump = z.pmf(45) / z.pmf(46);
-        assert!(jump < 1.2, "pmf should be continuous at the break, got jump {jump}");
+        assert!(
+            jump < 1.2,
+            "pmf should be continuous at the break, got jump {jump}"
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl fmt::Display for StatsError {
                 write!(f, "invalid sample {value}: {reason}")
             }
             StatsError::NoConvergence { what, iterations } => {
-                write!(f, "`{what}` failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "`{what}` failed to converge after {iterations} iterations"
+                )
             }
             StatsError::BadProbability(p) => {
                 write!(f, "probability {p} outside [0, 1]")

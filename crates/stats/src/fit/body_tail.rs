@@ -129,7 +129,9 @@ fn fit_family(
                 Side::Body => (None, Some(split)),
                 Side::Tail => (Some(split), None),
             };
-            Ok(SideFit::Lognormal(fit_lognormal_truncated(samples, lo, hi)?))
+            Ok(SideFit::Lognormal(fit_lognormal_truncated(
+                samples, lo, hi,
+            )?))
         }
         Family::Weibull => Ok(SideFit::Weibull(fit_weibull(samples)?)),
         Family::Pareto => Ok(SideFit::Pareto(fit_pareto(samples, split)?)),
@@ -157,7 +159,11 @@ mod tests {
         let xs = truth.sample_n(&mut rng, 60_000);
         let fit = fit_body_tail(&xs, 103.0, Family::Lognormal, Family::Pareto).unwrap();
 
-        assert!((fit.body_weight - 0.8).abs() < 0.01, "w = {}", fit.body_weight);
+        assert!(
+            (fit.body_weight - 0.8).abs() < 0.01,
+            "w = {}",
+            fit.body_weight
+        );
         match fit.tail {
             SideFit::Pareto(p) => {
                 assert!((p.alpha() - 0.9041).abs() < 0.05, "alpha = {}", p.alpha());
@@ -210,9 +216,16 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert!(fit_body_tail(&[1.0, 2.0, 3.0], 0.0, Family::Lognormal, Family::Lognormal).is_err());
-        assert!(fit_body_tail(&[1.0, -2.0, 3.0, 4.0], 2.0, Family::Lognormal, Family::Lognormal)
-            .is_err());
+        assert!(
+            fit_body_tail(&[1.0, 2.0, 3.0], 0.0, Family::Lognormal, Family::Lognormal).is_err()
+        );
+        assert!(fit_body_tail(
+            &[1.0, -2.0, 3.0, 4.0],
+            2.0,
+            Family::Lognormal,
+            Family::Lognormal
+        )
+        .is_err());
         assert!(fit_body_tail(&[1.0, 2.0], 1.5, Family::Lognormal, Family::Lognormal).is_err());
     }
 }

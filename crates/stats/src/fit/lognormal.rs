@@ -238,7 +238,11 @@ mod tests {
         let xs = win.sample_n(&mut rng, 60_000);
         let fitted = fit_lognormal_truncated(&xs, Some(5.0), Some(200.0)).unwrap();
         assert!((fitted.mu() - 3.0).abs() < 0.2, "mu {}", fitted.mu());
-        assert!((fitted.sigma() - 1.2).abs() < 0.15, "sigma {}", fitted.sigma());
+        assert!(
+            (fitted.sigma() - 1.2).abs() < 0.15,
+            "sigma {}",
+            fitted.sigma()
+        );
     }
 
     #[test]
@@ -255,8 +259,10 @@ mod tests {
     #[test]
     fn truncated_fit_rejects_bad_input() {
         assert!(fit_lognormal_truncated(&[1.0; 4], Some(1.0), None).is_err()); // too few
-        assert!(fit_lognormal_truncated(&[1.0, -1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], None, None)
-            .is_err());
+        assert!(
+            fit_lognormal_truncated(&[1.0, -1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], None, None)
+                .is_err()
+        );
         let ok = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
         assert!(fit_lognormal_truncated(&ok, Some(10.0), Some(5.0)).is_err());
     }

@@ -15,8 +15,8 @@
 //!   on its half.
 
 mod body_tail;
-pub(crate) mod optimize;
 mod lognormal;
+pub(crate) mod optimize;
 mod pareto;
 mod weibull;
 mod zipf;

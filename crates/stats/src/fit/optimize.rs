@@ -16,17 +16,17 @@ pub fn nelder_mead_2d(
     const RHO: f64 = 0.5; // contraction
     const SIGMA: f64 = 0.5; // shrink
 
-    let mut simplex = [
-        (x0.0, x0.1),
-        (x0.0 + step.0, x0.1),
-        (x0.0, x0.1 + step.1),
-    ];
+    let mut simplex = [(x0.0, x0.1), (x0.0 + step.0, x0.1), (x0.0, x0.1 + step.1)];
     let mut values = simplex.map(|(a, b)| f(a, b));
 
     for _ in 0..max_iter {
         // Order: best, middle, worst.
         let mut idx = [0usize, 1, 2];
-        idx.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&i, &j| {
+            values[i]
+                .partial_cmp(&values[j])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let (b, m, w) = (idx[0], idx[1], idx[2]);
         if (values[w] - values[b]).abs() < 1e-12 * (1.0 + values[b].abs()) {
             break;

@@ -32,7 +32,11 @@ pub fn fit_weibull(samples: &[f64]) -> Result<Weibull, StatsError> {
     let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
     let n = xs.len() as f64;
     let mean_ln = logs.iter().sum::<f64>() / n;
-    let var_ln = logs.iter().map(|l| (l - mean_ln) * (l - mean_ln)).sum::<f64>() / n;
+    let var_ln = logs
+        .iter()
+        .map(|l| (l - mean_ln) * (l - mean_ln))
+        .sum::<f64>()
+        / n;
     let sd_ln = var_ln.sqrt();
     if sd_ln <= 0.0 {
         return Err(StatsError::BadSample {
@@ -253,8 +257,9 @@ mod truncated_tests {
     #[test]
     fn rejects_bad_input() {
         assert!(fit_weibull_truncated(&[1.0; 4], None, None).is_err());
-        assert!(fit_weibull_truncated(&[1.0, -2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], None, None)
-            .is_err());
+        assert!(
+            fit_weibull_truncated(&[1.0, -2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], None, None).is_err()
+        );
         let ok: Vec<f64> = (1..=20).map(f64::from).collect();
         assert!(fit_weibull_truncated(&ok, Some(10.0), Some(5.0)).is_err());
     }

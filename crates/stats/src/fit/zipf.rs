@@ -152,8 +152,16 @@ mod tests {
             *v /= total;
         }
         let fit = fit_two_piece_zipf(&f, 45).unwrap();
-        assert!((fit.body.alpha - 0.453).abs() < 1e-6, "body {}", fit.body.alpha);
-        assert!((fit.tail.alpha - 4.67).abs() < 1e-6, "tail {}", fit.tail.alpha);
+        assert!(
+            (fit.body.alpha - 0.453).abs() < 1e-6,
+            "body {}",
+            fit.body.alpha
+        );
+        assert!(
+            (fit.tail.alpha - 4.67).abs() < 1e-6,
+            "tail {}",
+            fit.tail.alpha
+        );
 
         // Auto-break search finds (approximately) the true break.
         let auto = fit_two_piece_zipf_auto(&f, &(10..=90).collect::<Vec<_>>()).unwrap();

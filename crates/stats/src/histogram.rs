@@ -292,7 +292,9 @@ impl TimeOfDayBins {
     /// Hour-of-day x coordinates for each bin center.
     pub fn bin_hours(&self) -> Vec<f64> {
         let w = self.bin_seconds as f64 / 3600.0;
-        (0..self.bins_per_day()).map(|i| (i as f64 + 0.5) * w).collect()
+        (0..self.bins_per_day())
+            .map(|i| (i as f64 + 0.5) * w)
+            .collect()
     }
 
     /// `(hour, average)` series — the "Average" curve of Figures 3/4.
@@ -373,8 +375,7 @@ mod tests {
         assert_eq!(b.day_count(), 2);
         assert_eq!(b.bins_per_day(), 24);
         assert_eq!(b.averages()[3], 3.0);
-        assert_eq!(b.minima()[3], 0.0_f64.max(2.0).min(2.0)); // min across days = 2
-        assert_eq!(b.minima()[3], 2.0);
+        assert_eq!(b.minima()[3], 2.0); // min across days = 2
         assert_eq!(b.maxima()[3], 4.0);
         // An hour with no events: avg/min/max all 0.
         assert_eq!(b.averages()[5], 0.0);

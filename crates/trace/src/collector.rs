@@ -133,7 +133,7 @@ impl MeasurementPeer {
                 shared_files: p.shared_files,
             },
             Payload::Query(q) => RecordedPayload::Query {
-                text: q.text.clone(),
+                text: q.text,
                 sha1: q.sha1.is_some(),
             },
             Payload::QueryHit(qh) => RecordedPayload::QueryHit {
@@ -494,7 +494,10 @@ mod tests {
         drop(tr);
         // The client received the probe PING before the close.
         assert!(sim.node(cid).is_some());
-        assert!(received.lock().iter().any(|m| matches!(m.payload, Payload::Ping)));
+        assert!(received
+            .lock()
+            .iter()
+            .any(|m| matches!(m.payload, Payload::Ping)));
     }
 
     #[test]
@@ -554,12 +557,16 @@ mod tests {
         // Client A sends a query; clients B and C should receive it.
         let mut a = ScriptClient::new(server, Ipv4Addr::new(24, 0, 0, 1));
         a.script = vec![(SimDuration::from_secs(2), vec![mk_query(77, "fwd me")])];
-        let keepalive =
-            |seed: u64| -> Vec<(SimDuration, Vec<Message>)> {
-                (1..6)
-                    .map(|k| (SimDuration::from_secs(k * 9), vec![mk_query(seed + k, "ka")]))
-                    .collect()
-            };
+        let keepalive = |seed: u64| -> Vec<(SimDuration, Vec<Message>)> {
+            (1..6)
+                .map(|k| {
+                    (
+                        SimDuration::from_secs(k * 9),
+                        vec![mk_query(seed + k, "ka")],
+                    )
+                })
+                .collect()
+        };
         let mut b = ScriptClient::new(server, Ipv4Addr::new(24, 0, 0, 2));
         b.script = keepalive(200);
         let b_rx = b.received.clone();

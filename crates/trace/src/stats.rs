@@ -70,13 +70,34 @@ impl TraceStats {
         let mut out = String::new();
         out.push_str("Measure                                | Value\n");
         out.push_str("---------------------------------------+------------\n");
-        out.push_str(&format!("Trace period (days)                    | {:>10}\n", self.trace_days));
-        out.push_str(&format!("Number of QUERY messages               | {:>10}\n", self.query_messages));
-        out.push_str(&format!("Number of QUERYHIT messages            | {:>10}\n", self.queryhit_messages));
-        out.push_str(&format!("Number of PING messages                | {:>10}\n", self.ping_messages));
-        out.push_str(&format!("Number of PONG messages                | {:>10}\n", self.pong_messages));
-        out.push_str(&format!("Number of direct connections           | {:>10}\n", self.direct_connections));
-        out.push_str(&format!("Query messages with hop count = 1      | {:>10}\n", self.hop1_queries));
+        out.push_str(&format!(
+            "Trace period (days)                    | {:>10}\n",
+            self.trace_days
+        ));
+        out.push_str(&format!(
+            "Number of QUERY messages               | {:>10}\n",
+            self.query_messages
+        ));
+        out.push_str(&format!(
+            "Number of QUERYHIT messages            | {:>10}\n",
+            self.queryhit_messages
+        ));
+        out.push_str(&format!(
+            "Number of PING messages                | {:>10}\n",
+            self.ping_messages
+        ));
+        out.push_str(&format!(
+            "Number of PONG messages                | {:>10}\n",
+            self.pong_messages
+        ));
+        out.push_str(&format!(
+            "Number of direct connections           | {:>10}\n",
+            self.direct_connections
+        ));
+        out.push_str(&format!(
+            "Query messages with hop count = 1      | {:>10}\n",
+            self.hop1_queries
+        ));
         out
     }
 }

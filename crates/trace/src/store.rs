@@ -28,6 +28,16 @@ impl Trace {
         Trace::default()
     }
 
+    /// Empty trace with pre-reserved capacity, for collectors that can
+    /// estimate campaign volume up front (avoids repeated reallocation of
+    /// the hot message vector during a run).
+    pub fn with_capacity(connections: usize, messages: usize) -> Self {
+        Trace {
+            connections: Vec::with_capacity(connections),
+            messages: Vec::with_capacity(messages),
+        }
+    }
+
     /// Look up a connection record.
     pub fn connection(&self, id: SessionId) -> Option<&ConnectionRecord> {
         self.connections.get(id.0 as usize)
@@ -125,7 +135,7 @@ mod tests {
                 hops: 1,
                 ttl: 6,
                 payload: RecordedPayload::Query {
-                    text: format!("song {i}"),
+                    text: format!("song {i}").into(),
                     sha1: false,
                 },
             });

@@ -15,7 +15,7 @@ fn arb_payload() -> impl Strategy<Value = RecordedPayload> {
             shared_files: files,
         }),
         ("[a-z0-9 ]{0,24}", any::<bool>()).prop_map(|(text, sha1)| RecordedPayload::Query {
-            text,
+            text: text.into(),
             sha1,
         }),
         (any::<[u8; 4]>(), any::<u8>()).prop_map(|(ip, results)| RecordedPayload::QueryHit {
@@ -27,10 +27,28 @@ fn arb_payload() -> impl Strategy<Value = RecordedPayload> {
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
     let conns = proptest::collection::vec(
-        (any::<[u8; 4]>(), any::<bool>(), 0u64..100_000, 1u64..10_000, any::<bool>()),
+        (
+            any::<[u8; 4]>(),
+            any::<bool>(),
+            0u64..100_000,
+            1u64..10_000,
+            any::<bool>(),
+        ),
         1..12,
     );
-    (conns, proptest::collection::vec((any::<[u8; 16]>(), 0u8..8, 0u8..8, 0u64..200_000, arb_payload()), 0..40))
+    (
+        conns,
+        proptest::collection::vec(
+            (
+                any::<[u8; 16]>(),
+                0u8..8,
+                0u8..8,
+                0u64..200_000,
+                arb_payload(),
+            ),
+            0..40,
+        ),
+    )
         .prop_map(|(conns, msgs)| {
             let n = conns.len() as u64;
             let connections: Vec<ConnectionRecord> = conns

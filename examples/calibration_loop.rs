@@ -65,13 +65,10 @@ fn main() {
 
     // 4. Validate: measured vs regenerated, side by side.
     println!("\n4. measured vs regenerated:");
-    println!(
-        "{:<26} {:>12} {:>12}",
-        "measure", "measured", "synthetic"
-    );
+    println!("{:<26} {:>12} {:>12}", "measure", "measured", "synthetic");
     // Passive fraction.
-    let measured_passive = ft.sessions.iter().filter(|s| s.is_passive()).count() as f64
-        / ft.sessions.len() as f64;
+    let measured_passive =
+        ft.sessions.iter().filter(|s| s.is_passive()).count() as f64 / ft.sessions.len() as f64;
     let synth_passive =
         synthetic.iter().filter(|s| s.is_passive()).count() as f64 / synthetic.len() as f64;
     println!(

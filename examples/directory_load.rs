@@ -97,7 +97,10 @@ fn main() {
 
     let total_q: u64 = partition_queries.iter().sum();
     println!("\n4-way class partition of query load:");
-    for (i, name) in ["NA shard", "EU shard", "Asia shard", "shared shard"].iter().enumerate() {
+    for (i, name) in ["NA shard", "EU shard", "Asia shard", "shared shard"]
+        .iter()
+        .enumerate()
+    {
         println!(
             "  {:<12} {:>8} queries ({:>5.1} %)",
             name,
@@ -111,7 +114,10 @@ fn main() {
          geographic partition is heavily skewed toward the NA shard; both are\n\
          direct consequences of the paper's characterization and exactly the\n\
          kind of sizing input its synthetic workload was built to provide.",
-        per_hour.iter().map(|s| s.registrations + s.deregistrations).sum::<u64>() as f64
+        per_hour
+            .iter()
+            .map(|s| s.registrations + s.deregistrations)
+            .sum::<u64>() as f64
             / per_hour.iter().map(|s| s.queries).sum::<u64>().max(1) as f64
     );
 }

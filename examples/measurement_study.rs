@@ -16,14 +16,8 @@ use geoip::{GeoDb, Region};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let days: f64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.5);
-    let sessions_per_day: f64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8_000.0);
+    let days: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.5);
+    let sessions_per_day: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8_000.0);
 
     println!("simulating {days} day(s) at {sessions_per_day} sessions/day…");
     let cfg = PopulationConfig {

@@ -10,7 +10,6 @@ use behavior::{
     VocabularyConfig,
 };
 use geoip::Region;
-use gnutella::QueryKey;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -31,7 +30,7 @@ fn survives_rules12(queries: &[PlannedQuery]) -> Vec<bool> {
     queries
         .iter()
         .map(|q| {
-            let key = QueryKey::new(&q.text);
+            let key = q.text.canonical();
             if q.sha1.is_some() && key.is_empty() {
                 return false; // rule 1
             }
@@ -55,7 +54,10 @@ fn rule1_removes_exactly_sha1_requeries() {
             }
         }
     }
-    assert!(sha1_total > 200, "model generated too little rule-1 traffic");
+    assert!(
+        sha1_total > 200,
+        "model generated too little rule-1 traffic"
+    );
 }
 
 #[test]
@@ -161,7 +163,10 @@ fn rules45_target_burst_and_periodic_traffic() {
     assert!(burst_total > 500, "too little burst traffic: {burst_total}");
     let frac = burst_gaps_subsecond as f64 / burst_total as f64;
     assert!(frac > 0.9, "burst gaps should be sub-second: {frac}");
-    assert!(periodic_trains > 10, "too few periodic trains: {periodic_trains}");
+    assert!(
+        periodic_trains > 10,
+        "too few periodic trains: {periodic_trains}"
+    );
 }
 
 #[test]

@@ -17,7 +17,10 @@ fn full_pipeline_closes_the_loop() {
     let trace = run_population(&it_population());
     let stats = trace.stats();
     assert!(stats.direct_connections > 2_000, "population too small");
-    assert!(stats.query_messages > stats.hop1_queries, "no relayed traffic");
+    assert!(
+        stats.query_messages > stats.hop1_queries,
+        "no relayed traffic"
+    );
 
     // 2. The trace round-trips through the JSONL interchange format.
     let mut buf = Vec::new();
@@ -54,8 +57,18 @@ fn full_pipeline_closes_the_loop() {
     let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let eu = queries::query_counts(&ft, Region::Europe);
     let asia = queries::query_counts(&ft, Region::Asia);
-    assert!(eu.len() > 25 && asia.len() > 10, "eu {} asia {}", eu.len(), asia.len());
-    assert!(mean(&eu) > mean(&asia), "EU {} vs Asia {}", mean(&eu), mean(&asia));
+    assert!(
+        eu.len() > 25 && asia.len() > 10,
+        "eu {} asia {}",
+        eu.len(),
+        asia.len()
+    );
+    assert!(
+        mean(&eu) > mean(&asia),
+        "EU {} vs Asia {}",
+        mean(&eu),
+        mean(&asia)
+    );
     // EU interarrivals are shorter than NA's (Figure 8(a)), comparing the
     // below-103 s fraction.
     let frac_below = |r: Region| {

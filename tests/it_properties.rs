@@ -30,21 +30,21 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
                 shared_kb: kb,
             })
         ),
-        (any::<u16>(), arb_text(), proptest::option::of("[A-Z2-7]{8,32}")).prop_map(
-            |(speed, text, sha1)| Payload::Query(Query {
+        (
+            any::<u16>(),
+            arb_text(),
+            proptest::option::of("[A-Z2-7]{8,32}")
+        )
+            .prop_map(|(speed, text, sha1)| Payload::Query(Query {
                 min_speed: speed,
-                text,
+                text: text.into(),
                 sha1: sha1.map(|s| format!("urn:sha1:{s}")),
-            })
-        ),
+            })),
         (
             any::<u16>(),
             any::<[u8; 4]>(),
             any::<u32>(),
-            proptest::collection::vec(
-                (any::<u32>(), any::<u32>(), "[a-z0-9 .]{1,24}"),
-                0..6
-            ),
+            proptest::collection::vec((any::<u32>(), any::<u32>(), "[a-z0-9 .]{1,24}"), 0..6),
             arb_guid()
         )
             .prop_map(|(port, ip, speed, results, servent)| {
@@ -59,10 +59,8 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
                     servent,
                 })
             }),
-        (any::<u16>(), "[a-z ]{0,20}").prop_map(|(code, reason)| Payload::Bye(Bye {
-            code,
-            reason
-        })),
+        (any::<u16>(), "[a-z ]{0,20}")
+            .prop_map(|(code, reason)| Payload::Bye(Bye { code, reason })),
     ]
 }
 

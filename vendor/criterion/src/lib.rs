@@ -1,0 +1,303 @@
+//! Offline vendored stand-in for `criterion` 0.5.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple wall-clock measurement loop: warm-up, then
+//! `sample_size` timed samples whose median and mean are printed, plus a
+//! derived throughput line when one was declared.
+//!
+//! Statistical niceties of upstream criterion (outlier classification, HTML
+//! reports, comparison against saved baselines) are intentionally absent.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput units for a benchmark's per-iteration work.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `events/100`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id like `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Measured wall time for the last run of the closure loop.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collected measurements for one benchmark.
+struct Samples {
+    per_iter_nanos: Vec<f64>,
+}
+
+impl Samples {
+    fn median(&mut self) -> f64 {
+        self.per_iter_nanos
+            .sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = self.per_iter_nanos.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            self.per_iter_nanos[n / 2]
+        } else {
+            0.5 * (self.per_iter_nanos[n / 2 - 1] + self.per_iter_nanos[n / 2])
+        }
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_throughput(tp: Throughput, per_iter_nanos: f64) -> String {
+    let (count, unit) = match tp {
+        Throughput::Elements(n) => (n, "elem"),
+        Throughput::Bytes(n) => (n, "B"),
+    };
+    let per_sec = count as f64 / (per_iter_nanos / 1e9);
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    // Warm-up: find an iteration count that takes roughly warm_up/5 per
+    // sample, so each of the `sample_size` samples is meaningfully long.
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 1,
+    };
+    let warm_start = Instant::now();
+    loop {
+        routine(&mut b);
+        if warm_start.elapsed() >= warm_up || b.elapsed >= warm_up / 5 {
+            break;
+        }
+        b.iters = (b.iters * 2).min(1 << 30);
+    }
+    let per_iter = (b.elapsed.as_nanos() as f64 / b.iters as f64).max(0.1);
+    let target_sample = measurement.as_nanos() as f64 / sample_size as f64;
+    let iters = ((target_sample / per_iter).ceil() as u64).clamp(1, 1 << 30);
+
+    let mut samples = Samples {
+        per_iter_nanos: Vec::with_capacity(sample_size),
+    };
+    b.iters = iters;
+    for _ in 0..sample_size {
+        routine(&mut b);
+        samples
+            .per_iter_nanos
+            .push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    let mean =
+        samples.per_iter_nanos.iter().sum::<f64>() / samples.per_iter_nanos.len().max(1) as f64;
+    let median = samples.median();
+    let mut line = format!(
+        "{label:<48} median {:>12}   mean {:>12}   ({} samples x {} iters)",
+        format_nanos(median),
+        format_nanos(mean),
+        sample_size,
+        iters
+    );
+    if let Some(tp) = throughput {
+        line.push_str(&format!("   {}", format_throughput(tp, median)));
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 50).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration work so a rate is printed.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_bench(
+            &label,
+            self.sample_size,
+            Duration::from_millis(500),
+            Duration::from_secs(1),
+            self.throughput,
+            routine,
+        );
+        self
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(
+            &label,
+            self.sample_size,
+            Duration::from_millis(500),
+            Duration::from_secs(1),
+            self.throughput,
+            |b| routine(b, input),
+        );
+        self
+    }
+
+    /// End the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 50,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        run_bench(
+            name,
+            50,
+            Duration::from_millis(500),
+            Duration::from_secs(1),
+            None,
+            routine,
+        );
+        self
+    }
+}
+
+/// Declare a benchmark group function list (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; none are needed here.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_formats() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("vendor_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert_eq!(format_nanos(1500.0), "1.50 µs");
+        assert!(format_throughput(Throughput::Elements(1000), 1000.0).contains("Gelem/s"));
+        assert!(format_throughput(Throughput::Elements(1000), 1_000_000.0).contains("Melem/s"));
+    }
+}

@@ -1,0 +1,563 @@
+//! Offline stand-in for `serde` with derive support.
+//!
+//! The real serde cannot be fetched in this offline build environment, so
+//! this crate implements a deliberately simplified data model: values
+//! serialize to an owned [`Value`] tree and deserialize from one. The only
+//! consumer in the workspace is the vendored `serde_json`, which parses and
+//! prints that tree, so the full visitor/zero-copy machinery of upstream
+//! serde is unnecessary. The `#[derive(Serialize, Deserialize)]` macros are
+//! provided by the companion `serde_derive` proc-macro crate and support the
+//! attribute subset this workspace uses (`#[serde(skip)]`,
+//! `#[serde(tag = "...", rename_all = "snake_case")]`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Object entries in insertion order (writer order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error (the only fallible direction in this model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into the [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    _ => return Err(Error::msg(format!(
+                        "expected unsigned integer, found {}", v.type_name()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        u64::from_value(v).and_then(|n| usize::try_from(n).map_err(|_| Error::msg("usize range")))
+    }
+}
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n).map_err(|_| Error::msg("integer out of range"))?,
+                    _ => return Err(Error::msg(format!(
+                        "expected integer, found {}", v.type_name()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::I64(n) => Ok(n as f64),
+            Value::U64(n) => Ok(n as f64),
+            _ => Err(Error::msg(format!(
+                "expected number, found {}",
+                v.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::msg(format!(
+                "expected bool, found {}",
+                v.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg(format!(
+                "expected string, found {}",
+                v.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string; only used for `&'static str` fields of
+    /// derived types (e.g. fixed descriptive labels).
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(_v: &Value) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg(format!(
+                "expected array, found {}",
+                v.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::msg(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        let out = ($(
+                            {
+                                let _ = $idx;
+                                $name::from_value(
+                                    it.next().ok_or_else(|| Error::msg("tuple too short"))?,
+                                )?
+                            },
+                        )+);
+                        Ok(out)
+                    }
+                    _ => Err(Error::msg("expected array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Serialize a map value, requiring keys that render as strings.
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut out: Vec<(String, Value)> = entries
+        .map(|(k, v)| {
+            let key = match k.to_value() {
+                Value::Str(s) => s,
+                Value::U64(n) => n.to_string(),
+                Value::I64(n) => n.to_string(),
+                other => panic!("unsupported map key type: {}", other.type_name()),
+            };
+            (key, v.to_value())
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Object(out)
+}
+
+fn map_from_value<K, V>(v: &Value) -> Result<Vec<(K, V)>, Error>
+where
+    K: Deserialize,
+    V: Deserialize,
+{
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .map(|(k, val)| {
+                let key = K::from_value(&Value::Str(k.clone()))
+                    .or_else(|_| K::from_value(&parse_numeric_key(k)))?;
+                Ok((key, V::from_value(val)?))
+            })
+            .collect(),
+        _ => Err(Error::msg(format!(
+            "expected object, found {}",
+            v.type_name()
+        ))),
+    }
+}
+
+fn parse_numeric_key(k: &str) -> Value {
+    if let Ok(n) = k.parse::<u64>() {
+        Value::U64(n)
+    } else if let Ok(n) = k.parse::<i64>() {
+        Value::I64(n)
+    } else {
+        Value::Str(k.to_string())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|e| Error::msg(format!("bad IPv4 address {s:?}: {e}"))),
+            _ => Err(Error::msg("expected IPv4 address string")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-macro support
+// ---------------------------------------------------------------------------
+
+/// Helpers the `serde_derive` expansion calls into. Not public API.
+pub mod helpers {
+    use super::{Deserialize, Error, Value};
+
+    /// Read a named struct field; missing keys behave like `null` so that
+    /// `Option` fields tolerate omission.
+    pub fn field<T: Deserialize>(v: &Value, struct_name: &str, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(_) => {
+                let entry = v.get(name);
+                match entry {
+                    Some(inner) => T::from_value(inner)
+                        .map_err(|e| Error::msg(format!("{struct_name}.{name}: {e}"))),
+                    None => T::from_value(&Value::Null)
+                        .map_err(|_| Error::msg(format!("{struct_name}: missing field {name:?}"))),
+                }
+            }
+            _ => Err(Error::msg(format!(
+                "{struct_name}: expected object, found {}",
+                v.type_name()
+            ))),
+        }
+    }
+
+    /// Convert a `CamelCase` identifier to `snake_case` (the only
+    /// `rename_all` rule used in this workspace).
+    pub fn to_snake_case(name: &str) -> String {
+        let mut out = String::with_capacity(name.len() + 4);
+        for (i, ch) in name.chars().enumerate() {
+            if ch.is_ascii_uppercase() {
+                if i > 0 {
+                    out.push('_');
+                }
+                out.push(ch.to_ascii_lowercase());
+            } else {
+                out.push(ch);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<u32> = Some(5);
+        assert_eq!(Option::<u32>::from_value(&v.to_value()).unwrap(), Some(5));
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn map_keys_sorted_and_round_trip() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let v = m.to_value();
+        match &v {
+            Value::Object(entries) => {
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(entries[1].0, "b");
+            }
+            _ => panic!("expected object"),
+        }
+        let back = HashMap::<String, u64>::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn snake_case_conversion() {
+        assert_eq!(helpers::to_snake_case("Conn"), "conn");
+        assert_eq!(helpers::to_snake_case("QueryHit"), "query_hit");
+    }
+
+    #[test]
+    fn ipv4_round_trip() {
+        let addr: Ipv4Addr = "129.217.12.34".parse().unwrap();
+        assert_eq!(Ipv4Addr::from_value(&addr.to_value()).unwrap(), addr);
+    }
+}

@@ -1,0 +1,718 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the simplified
+//! serde data model in `vendor/serde`.
+//!
+//! Because the container has no registry access, `syn`/`quote` are
+//! unavailable; the item is parsed directly from the `proc_macro` token
+//! stream. Supported shapes — which cover every derive site in this
+//! workspace — are:
+//!
+//! * named-field structs, tuple/newtype structs, unit structs
+//! * enums with unit, newtype, tuple, and struct variants
+//! * plain type parameters (`struct Foo<B, T> { .. }`)
+//! * `#[serde(skip)]` on named fields (skipped on write, `Default` on read)
+//! * `#[serde(tag = "..", rename_all = "snake_case")]` internal tagging on
+//!   enums whose variants are unit or newtype-of-struct
+//!
+//! Enum representation otherwise follows serde's external tagging:
+//! `"Variant"`, `{"Variant": inner}`, `{"Variant": [..]}`, or
+//! `{"Variant": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    tag: Option<String>,
+    rename_all_snake: bool,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+}
+
+/// Serde-relevant attribute flags collected from `#[...]` sequences.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+/// Consume any leading `#[...]` attributes, extracting serde ones.
+fn parse_attrs(c: &mut Cursor) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    loop {
+        let is_hash = matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+        if !is_hash {
+            return out;
+        }
+        c.next();
+        let group = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute: {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.eat_ident("serde") {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde_derive: malformed #[serde] attribute: {other:?}"),
+        };
+        let mut a = Cursor::new(args.stream());
+        while let Some(tok) = a.next() {
+            let word = match tok {
+                TokenTree::Ident(id) => id.to_string(),
+                TokenTree::Punct(p) if p.as_char() == ',' => continue,
+                other => panic!("serde_derive: unsupported serde attribute token: {other:?}"),
+            };
+            match word.as_str() {
+                "skip" => out.skip = true,
+                "tag" => {
+                    assert!(a.eat_punct('='), "serde_derive: expected `tag = \"..\"`");
+                    out.tag = Some(expect_str_literal(&mut a));
+                }
+                "rename_all" => {
+                    assert!(
+                        a.eat_punct('='),
+                        "serde_derive: expected `rename_all = \"..\"`"
+                    );
+                    let rule = expect_str_literal(&mut a);
+                    assert_eq!(
+                        rule, "snake_case",
+                        "serde_derive: only rename_all = \"snake_case\" is supported"
+                    );
+                    out.rename_all_snake = true;
+                }
+                other => panic!("serde_derive: unsupported serde attribute {other:?}"),
+            }
+        }
+    }
+}
+
+fn expect_str_literal(c: &mut Cursor) -> String {
+    match c.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let s = lit.to_string();
+            assert!(
+                s.starts_with('"') && s.ends_with('"'),
+                "serde_derive: expected string literal, found {s}"
+            );
+            s[1..s.len() - 1].to_string()
+        }
+        other => panic!("serde_derive: expected string literal, found {other:?}"),
+    }
+}
+
+/// Consume an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(c: &mut Cursor) {
+    if c.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = c.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                c.next();
+            }
+        }
+    }
+}
+
+/// Skip a type expression up to a top-level `,` (which is not consumed).
+fn skip_type(c: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = c.peek() {
+        match tok {
+            TokenTree::Punct(p) => {
+                let ch = p.as_char();
+                if ch == ',' && angle_depth == 0 {
+                    return;
+                }
+                if ch == '<' {
+                    angle_depth += 1;
+                }
+                if ch == '>' {
+                    angle_depth -= 1;
+                }
+                c.next();
+            }
+            _ => {
+                c.next();
+            }
+        }
+    }
+}
+
+/// Parse `{ field: Ty, ... }` named fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        let attrs = parse_attrs(&mut c);
+        if c.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut c);
+        let name = c.expect_ident();
+        assert!(
+            c.eat_punct(':'),
+            "serde_derive: expected `:` after field {name}"
+        );
+        skip_type(&mut c);
+        c.eat_punct(',');
+        out.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+    out
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    while let Some(tok) = c.next() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = c.peek().is_none();
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parse generic parameter names from `<...>` (consumes through `>`).
+fn parse_generics(c: &mut Cursor) -> Vec<String> {
+    if !c.eat_punct('<') {
+        return Vec::new();
+    }
+    let mut params = Vec::new();
+    let mut depth = 1i32;
+    let mut expect_param = true;
+    while depth > 0 {
+        match c.next() {
+            Some(TokenTree::Punct(p)) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                _ => {}
+            },
+            Some(TokenTree::Ident(id)) => {
+                if expect_param && depth == 1 {
+                    params.push(id.to_string());
+                    expect_param = false;
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: unterminated generics"),
+        }
+    }
+    params
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let attrs = parse_attrs(&mut c);
+    skip_visibility(&mut c);
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!(
+            "serde_derive: expected struct or enum, found {:?}",
+            c.peek()
+        );
+    };
+    let name = c.expect_ident();
+    let generics = parse_generics(&mut c);
+    let body = if is_enum {
+        let group = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        };
+        let mut vc = Cursor::new(group.stream());
+        let mut variants = Vec::new();
+        while vc.peek().is_some() {
+            let _ = parse_attrs(&mut vc);
+            if vc.peek().is_none() {
+                break;
+            }
+            let vname = vc.expect_ident();
+            let kind = match vc.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    vc.next();
+                    VariantKind::Tuple(n)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    vc.next();
+                    VariantKind::Struct(fields)
+                }
+                _ => VariantKind::Unit,
+            };
+            vc.eat_punct(',');
+            variants.push(Variant { name: vname, kind });
+        }
+        Body::Enum(variants)
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: expected struct body, found {other:?}"),
+        }
+    };
+    Item {
+        name,
+        generics,
+        tag: attrs.tag,
+        rename_all_snake: attrs.rename_all_snake,
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+impl Item {
+    /// `impl<B: Bound, T: Bound> Trait for Name<B, T>` header pieces.
+    fn impl_header(&self, bound: &str) -> (String, String) {
+        if self.generics.is_empty() {
+            (String::new(), self.name.clone())
+        } else {
+            let params: Vec<String> = self
+                .generics
+                .iter()
+                .map(|g| format!("{g}: {bound}"))
+                .collect();
+            let args = self.generics.join(", ");
+            (
+                format!("<{}>", params.join(", ")),
+                format!("{}<{}>", self.name, args),
+            )
+        }
+    }
+
+    fn variant_tag(&self, vname: &str) -> String {
+        if self.rename_all_snake {
+            snake_case(vname)
+        } else {
+            vname.to_string()
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (generics, ty) = item.impl_header("::serde::Serialize");
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut s = String::from("let mut o: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "o.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(o)");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = item.variant_tag(&v.name);
+                let arm = match (&v.kind, &item.tag) {
+                    (VariantKind::Unit, None) => format!(
+                        "Self::{vn} => ::serde::Value::Str(\"{tag}\".to_string()),\n",
+                        vn = v.name
+                    ),
+                    (VariantKind::Unit, Some(tag_key)) => format!(
+                        "Self::{vn} => ::serde::Value::Object(vec![(\"{tag_key}\".to_string(), ::serde::Value::Str(\"{tag}\".to_string()))]),\n",
+                        vn = v.name
+                    ),
+                    (VariantKind::Tuple(1), None) => format!(
+                        "Self::{vn}(x0) => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Serialize::to_value(x0))]),\n",
+                        vn = v.name
+                    ),
+                    (VariantKind::Tuple(1), Some(tag_key)) => format!(
+                        "Self::{vn}(x0) => {{\n\
+                         let inner = ::serde::Serialize::to_value(x0);\n\
+                         match inner {{\n\
+                           ::serde::Value::Object(mut o) => {{\n\
+                             o.insert(0, (\"{tag_key}\".to_string(), ::serde::Value::Str(\"{tag}\".to_string())));\n\
+                             ::serde::Value::Object(o)\n\
+                           }}\n\
+                           _ => panic!(\"internally tagged variant {vn} must serialize to an object\"),\n\
+                         }}\n\
+                         }}\n",
+                        vn = v.name
+                    ),
+                    (VariantKind::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "Self::{vn}({binds}) => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::Array(vec![{vals}]))]),\n",
+                            vn = v.name,
+                            binds = binds.join(", "),
+                            vals = vals.join(", ")
+                        )
+                    }
+                    (VariantKind::Struct(fields), tag_mode) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut o: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        if let Some(tag_key) = tag_mode {
+                            inner.push_str(&format!(
+                                "o.push((\"{tag_key}\".to_string(), ::serde::Value::Str(\"{tag}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "o.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        let wrap = if tag_mode.is_some() {
+                            "::serde::Value::Object(o)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::Object(o))])"
+                            )
+                        };
+                        format!(
+                            "Self::{vn} {{ {binds} }} => {{\n{inner}{wrap}\n}}\n",
+                            vn = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                    (VariantKind::Tuple(_), Some(_)) => panic!(
+                        "serde_derive: internally tagged multi-field tuple variants unsupported"
+                    ),
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (generics_ser, _) = item.impl_header("::serde::Deserialize");
+    // `skip` fields need `Default`; requiring `Deserialize` on all type
+    // params is the same simplification upstream serde_derive makes.
+    let generics = generics_ser;
+    let (_, ty) = item.impl_header("::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut s = format!("Ok({name} {{\n");
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!("{n}: Default::default(),\n", n = f.name));
+                } else {
+                    s.push_str(&format!(
+                        "{n}: ::serde::helpers::field(v, \"{name}\", \"{n}\")?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let mut s = format!(
+                "let items = match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                 _ => return Err(::serde::Error::msg(\"expected {n}-element array for {name}\")),\n\
+                 }};\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::from_value(&items[{i}])?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Body::UnitStruct => format!("let _ = v; Ok({name})"),
+        Body::Enum(variants) => {
+            if let Some(tag_key) = &item.tag {
+                let mut arms = String::new();
+                for vnt in variants {
+                    let tag = item.variant_tag(&vnt.name);
+                    let arm = match &vnt.kind {
+                        VariantKind::Unit => {
+                            format!("\"{tag}\" => Ok(Self::{vn}),\n", vn = vnt.name)
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "\"{tag}\" => Ok(Self::{vn}(::serde::Deserialize::from_value(v)?)),\n",
+                            vn = vnt.name
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let mut inner =
+                                format!("\"{tag}\" => Ok(Self::{vn} {{\n", vn = vnt.name);
+                            for f in fields {
+                                if f.skip {
+                                    inner.push_str(&format!(
+                                        "{n}: Default::default(),\n",
+                                        n = f.name
+                                    ));
+                                } else {
+                                    inner.push_str(&format!(
+                                        "{n}: ::serde::helpers::field(v, \"{name}\", \"{n}\")?,\n",
+                                        n = f.name
+                                    ));
+                                }
+                            }
+                            inner.push_str("}),\n");
+                            inner
+                        }
+                        VariantKind::Tuple(_) => panic!(
+                            "serde_derive: internally tagged multi-field tuple variants unsupported"
+                        ),
+                    };
+                    arms.push_str(&arm);
+                }
+                format!(
+                    "let tag = match v.get(\"{tag_key}\") {{\n\
+                     Some(::serde::Value::Str(s)) => s.as_str(),\n\
+                     _ => return Err(::serde::Error::msg(\"{name}: missing tag field {tag_key}\")),\n\
+                     }};\n\
+                     match tag {{\n{arms}\
+                     other => Err(::serde::Error::msg(format!(\"{name}: unknown tag {{other:?}}\"))),\n\
+                     }}"
+                )
+            } else {
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for vnt in variants {
+                    let tag = item.variant_tag(&vnt.name);
+                    match &vnt.kind {
+                        VariantKind::Unit => {
+                            unit_arms.push_str(&format!(
+                                "\"{tag}\" => return Ok(Self::{vn}),\n",
+                                vn = vnt.name
+                            ));
+                        }
+                        VariantKind::Tuple(1) => {
+                            keyed_arms.push_str(&format!(
+                                "\"{tag}\" => return Ok(Self::{vn}(::serde::Deserialize::from_value(inner)?)),\n",
+                                vn = vnt.name
+                            ));
+                        }
+                        VariantKind::Tuple(n) => {
+                            let mut arm = format!(
+                                "\"{tag}\" => {{\n\
+                                 let items = match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                                 _ => return Err(::serde::Error::msg(\"expected {n}-element array for {name}::{vn}\")),\n\
+                                 }};\n\
+                                 return Ok(Self::{vn}(\n",
+                                vn = vnt.name
+                            );
+                            for i in 0..*n {
+                                arm.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&items[{i}])?,\n"
+                                ));
+                            }
+                            arm.push_str("));\n}\n");
+                            keyed_arms.push_str(&arm);
+                        }
+                        VariantKind::Struct(fields) => {
+                            let mut arm =
+                                format!("\"{tag}\" => return Ok(Self::{vn} {{\n", vn = vnt.name);
+                            for f in fields {
+                                if f.skip {
+                                    arm.push_str(&format!(
+                                        "{n}: Default::default(),\n",
+                                        n = f.name
+                                    ));
+                                } else {
+                                    arm.push_str(&format!(
+                                        "{n}: ::serde::helpers::field(inner, \"{name}\", \"{n}\")?,\n",
+                                        n = f.name
+                                    ));
+                                }
+                            }
+                            arm.push_str("}),\n");
+                            keyed_arms.push_str(&arm);
+                        }
+                    }
+                }
+                format!(
+                    "if let ::serde::Value::Str(s) = v {{\n\
+                     match s.as_str() {{\n{unit_arms}\
+                     _ => {{}}\n\
+                     }}\n\
+                     }}\n\
+                     if let ::serde::Value::Object(entries) = v {{\n\
+                     if entries.len() == 1 {{\n\
+                     let (key, inner) = &entries[0];\n\
+                     match key.as_str() {{\n{keyed_arms}\
+                     _ => {{}}\n\
+                     }}\n\
+                     }}\n\
+                     }}\n\
+                     Err(::serde::Error::msg(format!(\"{name}: unrecognized enum value {{}}\", v.type_name())))"
+                )
+            }
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
