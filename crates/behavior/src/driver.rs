@@ -11,10 +11,10 @@ use crate::peer::{ClientPeer, PeerEnv, RelayRates};
 use crate::session::SessionPlanner;
 use crate::vocabulary::{Vocabulary, VocabularyConfig};
 use geoip::{AddressAllocator, GeoDb};
-use gnutella::net::NetMsg;
+use gnutella::net::{NetMsg, Transport};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
+use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration, SimStats, SimTime, Simulator};
 use stats::rng::SeedSequence;
 use std::sync::Arc;
 use trace::{CollectorConfig, MeasurementPeer, Trace};
@@ -37,6 +37,10 @@ pub struct PopulationConfig {
     pub forward_fanout: usize,
     /// Maximum simultaneous connections at the measurement peer.
     pub max_connections: usize,
+    /// How frames travel between peers: typed (default, zero-copy) or
+    /// byte-encoded through the wire codec. Traces are identical either
+    /// way; `Bytes` exists for conformance and benchmarking.
+    pub transport: Transport,
 }
 
 impl Default for PopulationConfig {
@@ -49,6 +53,7 @@ impl Default for PopulationConfig {
             relay: RelayRates::default(),
             forward_fanout: 4,
             max_connections: 200,
+            transport: Transport::Typed,
         }
     }
 }
@@ -67,6 +72,38 @@ impl PopulationConfig {
             },
             ..PopulationConfig::default()
         }
+    }
+}
+
+/// Engine-level statistics of a whole campaign, aggregated across shards.
+///
+/// `events_popped` sums over shards (total work done); `peak_queue_len`
+/// takes the per-shard maximum (the pressure any one heap actually saw,
+/// which is what informs [`Simulator::with_capacity`] pre-sizing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Events popped off the simulator queue(s), summed across shards.
+    pub events_popped: u64,
+    /// Largest event-queue high-water mark observed by any shard.
+    pub peak_queue_len: u64,
+    /// Messages delivered to live nodes, summed across shards.
+    pub delivered: u64,
+    /// Messages dropped because the destination was gone.
+    pub dropped: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+    /// Nodes spawned over the lifetime of the run.
+    pub spawned: u64,
+}
+
+impl CampaignStats {
+    fn absorb(&mut self, s: &SimStats) {
+        self.events_popped += s.events_popped;
+        self.peak_queue_len = self.peak_queue_len.max(s.peak_queue_len);
+        self.delivered += s.delivered;
+        self.dropped += s.dropped;
+        self.timers_fired += s.timers_fired;
+        self.spawned += s.spawned;
     }
 }
 
@@ -155,7 +192,7 @@ fn run_shard(
     vocab: Arc<Vocabulary>,
     seq: SeedSequence,
     sessions_per_day: f64,
-) -> Trace {
+) -> (Trace, SimStats) {
     let planner = SessionPlanner::paper_default(vocab.clone());
     let db = GeoDb::synthetic();
     let alloc = Arc::new(AddressAllocator::new(&db));
@@ -166,6 +203,7 @@ fn run_shard(
         files: planner.files,
         relay: cfg.relay,
         latency: LatencyModel::intra_continent(),
+        transport: cfg.transport,
     };
 
     // Pre-reserve: expected connections plus slack, and a message volume
@@ -177,11 +215,17 @@ fn run_shard(
         expected_sessions,
         expected_sessions * 32,
     )));
-    let mut sim: Simulator<NetMsg> = Simulator::new(seq.derive_seed("engine"));
+    // Queue pressure at any instant is one timer batch of arrivals (the
+    // driver schedules an hour of arrivals at once) plus a handful of
+    // pending timers and in-flight frames per live connection.
+    let events_capacity = (sessions_per_day / 24.0) as usize + cfg.max_connections * 8 + 256;
+    let mut sim: Simulator<NetMsg> =
+        Simulator::with_capacity(seq.derive_seed("engine"), events_capacity);
     let collector_cfg = CollectorConfig {
         max_connections: cfg.max_connections,
         forward_fanout: cfg.forward_fanout,
         seed: seq.derive_seed("collector"),
+        transport: cfg.transport,
         ..CollectorConfig::default()
     };
     let server = sim.add_node(Box::new(MeasurementPeer::new(collector_cfg, trace.clone())));
@@ -202,21 +246,32 @@ fn run_shard(
     // Run to the end plus a grace period so in-flight sessions (and the
     // probe-close chains of vanished peers) settle.
     sim.run_until(end + SimDuration::from_hours(2));
+    let stats = sim.stats();
 
     // The measurement peer inside the simulator holds the only other Arc
     // handle; dropping the simulator first lets us take the trace by move
-    // instead of falling back to a whole-trace clone.
+    // instead of falling back to a whole-trace clone. (Dropping also
+    // flushes the collector's pending record buffer into the trace.)
     drop(sim);
-    Arc::try_unwrap(trace)
+    let trace = Arc::try_unwrap(trace)
         .map(parking_lot::Mutex::into_inner)
-        .unwrap_or_else(|arc| arc.lock().clone())
+        .unwrap_or_else(|arc| arc.lock().clone());
+    (trace, stats)
 }
 
 /// Run a full population campaign and return the measurement trace.
 pub fn run_population(cfg: &PopulationConfig) -> Trace {
+    run_population_with_stats(cfg).0
+}
+
+/// [`run_population`] plus the engine statistics of the run.
+pub fn run_population_with_stats(cfg: &PopulationConfig) -> (Trace, CampaignStats) {
     let seq = SeedSequence::new(cfg.seed);
     let vocab = Arc::new(build_vocabulary(cfg, &seq));
-    run_shard(cfg, vocab, seq, cfg.sessions_per_day)
+    let (trace, sim) = run_shard(cfg, vocab, seq, cfg.sessions_per_day);
+    let mut stats = CampaignStats::default();
+    stats.absorb(&sim);
+    (trace, stats)
 }
 
 /// Run a population campaign as `n_shards` Poisson-thinned sub-campaigns
@@ -246,9 +301,21 @@ pub fn run_population(cfg: &PopulationConfig) -> Trace {
 ///
 /// Panics if `n_shards == 0` or a shard thread panics.
 pub fn run_population_sharded(cfg: &PopulationConfig, n_shards: usize) -> Trace {
+    run_population_sharded_with_stats(cfg, n_shards).0
+}
+
+/// [`run_population_sharded`] plus aggregated engine statistics.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_population_sharded`].
+pub fn run_population_sharded_with_stats(
+    cfg: &PopulationConfig,
+    n_shards: usize,
+) -> (Trace, CampaignStats) {
     assert!(n_shards >= 1, "n_shards must be at least 1");
     if n_shards == 1 {
-        return run_population(cfg);
+        return run_population_with_stats(cfg);
     }
     assert!(
         cfg.max_connections >= n_shards,
@@ -259,7 +326,7 @@ pub fn run_population_sharded(cfg: &PopulationConfig, n_shards: usize) -> Trace 
     let seq = SeedSequence::new(cfg.seed);
     let vocab = Arc::new(build_vocabulary(cfg, &seq));
     let rate = cfg.sessions_per_day / n_shards as f64;
-    let shards: Vec<Trace> = std::thread::scope(|scope| {
+    let shards: Vec<(Trace, SimStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_shards)
             .map(|i| {
                 let vocab = Arc::clone(&vocab);
@@ -275,7 +342,15 @@ pub fn run_population_sharded(cfg: &PopulationConfig, n_shards: usize) -> Trace 
             .map(|h| h.join().expect("shard thread panicked"))
             .collect()
     });
-    merge_shard_traces(shards)
+    let mut stats = CampaignStats::default();
+    let traces: Vec<Trace> = shards
+        .into_iter()
+        .map(|(t, s)| {
+            stats.absorb(&s);
+            t
+        })
+        .collect();
+    (merge_shard_traces(traces), stats)
 }
 
 /// Merge per-shard traces into canonical `(time, shard)` order with
@@ -283,6 +358,7 @@ pub fn run_population_sharded(cfg: &PopulationConfig, n_shards: usize) -> Trace 
 fn merge_shard_traces(shards: Vec<Trace>) -> Trace {
     let n_conns: usize = shards.iter().map(|t| t.connections.len()).sum();
     let n_msgs: usize = shards.iter().map(|t| t.messages.len()).sum();
+    let wire_bytes: u64 = shards.iter().map(|t| t.wire_bytes).sum();
 
     let mut conns: Vec<(usize, trace::ConnectionRecord)> = Vec::with_capacity(n_conns);
     let mut msg_lists: Vec<Vec<trace::MessageRecord>> = Vec::with_capacity(shards.len());
@@ -315,6 +391,7 @@ fn merge_shard_traces(shards: Vec<Trace>) -> Trace {
     Trace {
         connections,
         messages: msgs.into_iter().map(|(_, m)| m).collect(),
+        wire_bytes,
     }
 }
 
@@ -481,6 +558,54 @@ mod tests {
             .count() as f64;
         let frac = quick / ended as f64;
         assert!((0.6..0.8).contains(&frac), "quick fraction {frac}");
+    }
+
+    #[test]
+    fn typed_and_byte_transports_record_identical_traces() {
+        // The typed fast path must be observationally equivalent to the
+        // byte codec path: same RNG draws, same arrival order, same
+        // records, same wire-byte accounting (both are charged via
+        // `encoded_len`).
+        let typed_cfg = PopulationConfig {
+            days: 0.05,
+            sessions_per_day: 1_500.0,
+            transport: Transport::Typed,
+            ..PopulationConfig::smoke()
+        };
+        let bytes_cfg = PopulationConfig {
+            transport: Transport::Bytes,
+            ..typed_cfg.clone()
+        };
+        let typed = run_population(&typed_cfg);
+        let bytes = run_population(&bytes_cfg);
+        assert_eq!(
+            typed, bytes,
+            "typed and byte transports must produce identical traces"
+        );
+        assert!(typed.wire_bytes > 0, "wire-byte accounting missing");
+        assert_eq!(
+            typed.wire_bytes, bytes.wire_bytes,
+            "both transports charge wire bytes via encoded_len"
+        );
+    }
+
+    #[test]
+    fn campaign_stats_expose_queue_pressure() {
+        let cfg = PopulationConfig {
+            days: 0.05,
+            sessions_per_day: 1_500.0,
+            ..PopulationConfig::smoke()
+        };
+        let (trace, stats) = run_population_with_stats(&cfg);
+        assert!(stats.events_popped > trace.messages.len() as u64);
+        assert!(stats.peak_queue_len > 0);
+        assert!(stats.delivered > 0);
+
+        // Sharded stats aggregate: popped sums, peak is a max.
+        let (_, sharded) = run_population_sharded_with_stats(&cfg, 2);
+        assert!(sharded.events_popped > 0);
+        assert!(sharded.peak_queue_len > 0);
+        assert!(sharded.peak_queue_len <= stats.events_popped);
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod session;
 pub mod vocabulary;
 
 pub use clients::{ClientPopulation, ClientProfile};
-pub use driver::{run_population, run_population_sharded, PopulationConfig};
+pub use driver::{
+    run_population, run_population_sharded, run_population_sharded_with_stats,
+    run_population_with_stats, CampaignStats, PopulationConfig,
+};
 pub use files::SharedFilesModel;
 pub use params::BehaviorParams;
 pub use peer::{ClientPeer, PeerEnv, RelayRates};

@@ -19,8 +19,8 @@ use crate::session::SessionPlan;
 use crate::vocabulary::Vocabulary;
 use geoip::{AddressAllocator, DiurnalModel};
 use gnutella::message::{Message, Payload, Pong, Query, QueryHit, QueryHitResult};
-use gnutella::net::NetMsg;
-use gnutella::wire::{decode_message, encode_message};
+use gnutella::net::{NetMsg, Transport};
+use gnutella::wire::decode_message;
 use gnutella::{Guid, Handshake, HandshakeResponse};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -75,6 +75,9 @@ pub struct PeerEnv {
     pub relay: RelayRates,
     /// Link latency toward the measurement peer.
     pub latency: LatencyModel,
+    /// How frames travel toward the measurement peer: typed (default,
+    /// zero-copy) or byte-encoded (codec exercised on every send).
+    pub transport: Transport,
 }
 
 /// One simulated client peer session.
@@ -109,10 +112,10 @@ impl ClientPeer {
         }
     }
 
-    fn send_frame(&mut self, ctx: &mut Context<'_, NetMsg>, msg: &Message) {
-        let bytes = encode_message(msg);
+    fn send_frame(&mut self, ctx: &mut Context<'_, NetMsg>, msg: Message) {
         let server = self.server;
-        ctx.send(server, NetMsg::Data(bytes), &self.env.latency.clone());
+        let latency = self.env.latency;
+        ctx.send(server, self.env.transport.frame(msg), &latency);
     }
 
     fn exp_delay(&mut self, mean_secs: f64) -> SimDuration {
@@ -153,7 +156,7 @@ impl ClientPeer {
             hops,
             payload: Payload::Query(Query::from_id(text)),
         };
-        self.send_frame(ctx, &msg);
+        self.send_frame(ctx, msg);
     }
 
     fn send_relay_pong(&mut self, ctx: &mut Context<'_, NetMsg>) {
@@ -174,7 +177,7 @@ impl ClientPeer {
                 shared_kb: kb,
             }),
         };
-        self.send_frame(ctx, &msg);
+        self.send_frame(ctx, msg);
     }
 
     fn send_relay_hit(&mut self, ctx: &mut Context<'_, NetMsg>) {
@@ -202,7 +205,29 @@ impl ClientPeer {
                 servent: Guid::random(&mut self.rng),
             }),
         };
-        self.send_frame(ctx, &msg);
+        self.send_frame(ctx, msg);
+    }
+
+    /// React to one frame from the measurement peer, however it traveled.
+    fn handle_frame(&mut self, ctx: &mut Context<'_, NetMsg>, m: &Message) {
+        match &m.payload {
+            Payload::Ping => {
+                // Answer probe / keepalive pings while alive.
+                let pong = Message::originate(
+                    Guid::random(&mut self.rng),
+                    Payload::Pong(Pong {
+                        port: 6346,
+                        addr: self.addr,
+                        shared_files: self.plan.shared_files,
+                        shared_kb: self.plan.shared_files.saturating_mul(4_000),
+                    }),
+                )
+                .first_hop();
+                self.send_frame(ctx, pong);
+            }
+            Payload::Query(_) => self.maybe_answer_query(ctx, m),
+            _ => {}
+        }
     }
 
     /// Respond to a query forwarded to us by the measurement peer.
@@ -231,7 +256,7 @@ impl ClientPeer {
                 servent: Guid::random(&mut self.rng),
             }),
         };
-        self.send_frame(ctx, &msg);
+        self.send_frame(ctx, msg);
     }
 }
 
@@ -271,29 +296,10 @@ impl Actor for ClientPeer {
             NetMsg::ConnectReply(HandshakeResponse::Busy) => {
                 ctx.remove_self();
             }
+            NetMsg::Frame(m) => self.handle_frame(ctx, &m),
             NetMsg::Data(mut bytes) => {
                 while let Ok(m) = decode_message(&mut bytes) {
-                    match &m.payload {
-                        Payload::Ping => {
-                            // Answer probe / keepalive pings while alive.
-                            let pong = Message::originate(
-                                Guid::random(&mut self.rng),
-                                Payload::Pong(Pong {
-                                    port: 6346,
-                                    addr: self.addr,
-                                    shared_files: self.plan.shared_files,
-                                    shared_kb: self.plan.shared_files.saturating_mul(4_000),
-                                }),
-                            )
-                            .first_hop();
-                            self.send_frame(ctx, &pong);
-                        }
-                        Payload::Query(_) => {
-                            let m = m.clone();
-                            self.maybe_answer_query(ctx, &m);
-                        }
-                        _ => {}
-                    }
+                    self.handle_frame(ctx, &m);
                 }
             }
             NetMsg::Disconnect => {
@@ -319,7 +325,7 @@ impl Actor for ClientPeer {
                             }),
                         )
                         .first_hop();
-                        self.send_frame(ctx, &bye);
+                        self.send_frame(ctx, bye);
                     }
                     let server = self.server;
                     let latency = self.env.latency;
@@ -332,7 +338,7 @@ impl Actor for ClientPeer {
             TAG_KEEPALIVE => {
                 let ping =
                     Message::originate(Guid::random(&mut self.rng), Payload::Ping).first_hop();
-                self.send_frame(ctx, &ping);
+                self.send_frame(ctx, ping);
                 let ka = self.keepalive;
                 ctx.set_timer(ka, TAG_KEEPALIVE);
             }
@@ -362,7 +368,7 @@ impl Actor for ClientPeer {
                     sha1: pq.sha1.clone(),
                 });
                 let msg = Message::originate(Guid::random(&mut self.rng), payload).first_hop();
-                self.send_frame(ctx, &msg);
+                self.send_frame(ctx, msg);
             }
         }
     }

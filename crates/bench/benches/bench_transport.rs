@@ -1,0 +1,111 @@
+//! Typed versus byte-codec transport throughput.
+//!
+//! Two views of the same question. The micro level frames a fixed batch
+//! of representative messages through [`Transport::frame`] both ways, so
+//! the codec cost per message is visible in isolation. The campaign
+//! level runs a short fixed-seed population with each transport, which
+//! is the end-to-end number the typed fast path is meant to move (the
+//! traces are identical either way — asserted in the driver's tests).
+
+use behavior::{run_population, PopulationConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gnutella::message::{Message, Payload, Pong, Query, QueryHit, QueryHitResult};
+use gnutella::net::Transport;
+use gnutella::{encoded_len, Guid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+/// A traffic-shaped batch: mostly queries, some pongs, a few hits.
+fn sample_messages() -> Vec<Message> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut msgs = Vec::new();
+    for i in 0..1024u32 {
+        let payload = match i % 8 {
+            0..=4 => Payload::Query(Query::keywords(format!("song title {i}"))),
+            5 | 6 => Payload::Pong(Pong {
+                port: 6346,
+                addr: Ipv4Addr::new(24, 0, (i >> 8) as u8, i as u8),
+                shared_files: i,
+                shared_kb: i * 4,
+            }),
+            _ => Payload::QueryHit(QueryHit {
+                port: 6346,
+                addr: Ipv4Addr::new(24, 1, 0, i as u8),
+                speed: 300,
+                results: vec![QueryHitResult {
+                    index: 0,
+                    size: 3_000_000,
+                    name: format!("file{i:04}.mp3"),
+                }],
+                servent: Guid::random(&mut rng),
+            }),
+        };
+        msgs.push(Message::originate(Guid::random(&mut rng), payload).first_hop());
+    }
+    msgs
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let msgs = sample_messages();
+
+    let mut group = c.benchmark_group("transport");
+    group.throughput(Throughput::Elements(msgs.len() as u64));
+
+    // Both sides clone the message, so the delta is the codec alone.
+    group.bench_function("frame_typed", |b| {
+        b.iter(|| {
+            for m in &msgs {
+                black_box(Transport::Typed.frame(m.clone()));
+            }
+        })
+    });
+    group.bench_function("frame_bytes", |b| {
+        b.iter(|| {
+            for m in &msgs {
+                black_box(Transport::Bytes.frame(m.clone()));
+            }
+        })
+    });
+    group.bench_function("encoded_len_only", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for m in &msgs {
+                total += encoded_len(m);
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+
+    // End-to-end: a short campaign per transport, same seed.
+    let cfg = PopulationConfig {
+        days: 0.1,
+        sessions_per_day: 3_000.0,
+        ..PopulationConfig::smoke()
+    };
+    let n_msgs = run_population(&cfg).messages.len() as u64;
+    let mut group = c.benchmark_group("campaign");
+    group.throughput(Throughput::Elements(n_msgs));
+    group.sample_size(10);
+    group.bench_function("population_typed", |b| {
+        b.iter(|| {
+            black_box(run_population(&PopulationConfig {
+                transport: Transport::Typed,
+                ..cfg.clone()
+            }))
+        })
+    });
+    group.bench_function("population_bytes", |b| {
+        b.iter(|| {
+            black_box(run_population(&PopulationConfig {
+                transport: Transport::Bytes,
+                ..cfg.clone()
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

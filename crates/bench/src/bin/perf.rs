@@ -5,6 +5,14 @@
 //! and shard counts, and writes the machine-readable report to
 //! `BENCH_POPULATION.json` (override with the first CLI argument).
 //!
+//! With `--check <baseline.json>` the harness additionally compares the
+//! fresh report against a previously written one and exits non-zero if
+//! campaign throughput (messages/sec) regressed by more than 30 % on any
+//! (scale, shards) pair present in both. The comparison is skipped — with
+//! a message, exit 0 — when the baseline was recorded on a host with a
+//! different core count, since shard scaling makes the numbers
+//! incommensurable across machines.
+//!
 //! Environment knobs:
 //!
 //! * `P2PQ_PERF_SCALES` — comma-separated subset of `smoke,default`
@@ -16,14 +24,18 @@
 
 use analysis::filter::apply_filters;
 use analysis::popularity::DailyObservations;
-use behavior::run_population_sharded;
+use behavior::run_population_sharded_with_stats;
 use bench_support::Scale;
 use geoip::GeoDb;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+/// Throughput regression tolerance for `--check`: fail if fresh
+/// messages/sec drops below this fraction of the baseline.
+const CHECK_TOLERANCE: f64 = 0.7;
+
 /// One timed campaign at a fixed scale and shard count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct PerfRun {
     scale: String,
     shards: usize,
@@ -41,10 +53,16 @@ struct PerfRun {
     /// Campaign wall time of the 1-shard run at this scale divided by this
     /// run's campaign wall time (1.0 for the baseline itself).
     campaign_speedup_vs_1_shard: f64,
+    /// Events popped off the simulator queue(s), summed across shards.
+    events_popped: u64,
+    /// Largest event-queue high-water mark any shard observed.
+    peak_event_queue: u64,
+    /// Total wire size of recorded messages (charged via `encoded_len`).
+    wire_bytes: u64,
 }
 
 /// The whole report, one JSON object.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct PerfReport {
     generated_by: String,
     cores: u64,
@@ -81,7 +99,7 @@ fn time_one(scale_name: &str, scale: Scale, shards: usize, baseline_secs: Option
     );
 
     let t0 = Instant::now();
-    let trace = run_population_sharded(&cfg, shards);
+    let (trace, stats) = run_population_sharded_with_stats(&cfg, shards);
     let campaign_secs = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -99,8 +117,10 @@ fn time_one(scale_name: &str, scale: Scale, shards: usize, baseline_secs: Option
     eprintln!(
         "[perf]   campaign {campaign_secs:.2}s, filter {filter_secs:.2}s, \
          popularity {popularity_secs:.2}s ({sessions} sessions, {messages} messages, \
-         {} observed days)",
-        obs.n_days()
+         {} observed days, {} events popped, peak queue {})",
+        obs.n_days(),
+        stats.events_popped,
+        stats.peak_queue_len,
     );
 
     PerfRun {
@@ -118,13 +138,62 @@ fn time_one(scale_name: &str, scale: Scale, shards: usize, baseline_secs: Option
         sessions_per_sec: sessions as f64 / campaign_secs.max(1e-9),
         messages_per_sec: messages as f64 / campaign_secs.max(1e-9),
         campaign_speedup_vs_1_shard: baseline_secs.map_or(1.0, |b| b / campaign_secs.max(1e-9)),
+        events_popped: stats.events_popped,
+        peak_event_queue: stats.peak_queue_len,
+        wire_bytes: trace.wire_bytes,
     }
 }
 
+/// Compare `fresh` against `baseline`; returns the number of regressed
+/// (scale, shards) pairs, or `None` if the comparison was skipped.
+fn check_against(fresh: &PerfReport, baseline: &PerfReport) -> Option<usize> {
+    if baseline.cores != fresh.cores {
+        eprintln!(
+            "[perf] check skipped: baseline recorded on {} core(s), this host has {}",
+            baseline.cores, fresh.cores
+        );
+        return None;
+    }
+    let mut regressions = 0;
+    let mut compared = 0;
+    for run in &fresh.runs {
+        let Some(base) = baseline
+            .runs
+            .iter()
+            .find(|b| b.scale == run.scale && b.shards == run.shards)
+        else {
+            continue;
+        };
+        compared += 1;
+        let floor = base.messages_per_sec * CHECK_TOLERANCE;
+        let verdict = if run.messages_per_sec < floor {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "[perf] check {}/{} shards: {:.0} msg/s vs baseline {:.0} (floor {:.0}) — {}",
+            run.scale, run.shards, run.messages_per_sec, base.messages_per_sec, floor, verdict
+        );
+    }
+    if compared == 0 {
+        eprintln!("[perf] check: no (scale, shards) pairs shared with the baseline");
+    }
+    Some(regressions)
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_POPULATION.json".to_string());
+    let mut out_path = "BENCH_POPULATION.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--check" {
+            check_path = Some(args.next().expect("--check requires a baseline path"));
+        } else {
+            out_path = arg;
+        }
+    }
     let scales = env_list("P2PQ_PERF_SCALES", "smoke,default");
     let shard_counts: Vec<usize> = env_list("P2PQ_PERF_SHARDS", "1,2,4")
         .iter()
@@ -162,4 +231,18 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize perf report");
     std::fs::write(&out_path, json + "\n").expect("write perf report");
     eprintln!("[perf] wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {path:?}: {e}"));
+        let baseline: PerfReport =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path:?}: {e}"));
+        if let Some(regressions) = check_against(&report, &baseline) {
+            if regressions > 0 {
+                eprintln!("[perf] {regressions} throughput regression(s) beyond 30 %");
+                std::process::exit(1);
+            }
+            eprintln!("[perf] throughput within tolerance of {path}");
+        }
+    }
 }

@@ -15,8 +15,7 @@ use crate::generator::{GeneratorConfig, WorkloadGenerator};
 use crate::model::WorkloadModel;
 use geoip::{AddressAllocator, GeoDb, Region};
 use gnutella::message::{Message, Payload, Pong, Query};
-use gnutella::net::NetMsg;
-use gnutella::wire::encode_message;
+use gnutella::net::{NetMsg, Transport};
 use gnutella::{Guid, Handshake};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,11 +44,34 @@ struct ReplayPeer {
     queries: Vec<(SimDuration, QueryRef)>,
     end_offset: SimDuration,
     latency: LatencyModel,
+    transport: Transport,
     rng: StdRng,
     connected: bool,
 }
 
 const TAG_END: u64 = u64::MAX;
+
+impl ReplayPeer {
+    /// Stay alive under the target's idle probing, whichever way the
+    /// probe traveled.
+    fn handle_frame(&mut self, ctx: &mut Context<'_, NetMsg>, m: &Message) {
+        if matches!(m.payload, Payload::Ping) {
+            let pong = Message::originate(
+                Guid::random(&mut self.rng),
+                Payload::Pong(Pong {
+                    port: 6346,
+                    addr: self.addr,
+                    shared_files: 0,
+                    shared_kb: 0,
+                }),
+            )
+            .first_hop();
+            let target = self.target;
+            let latency = self.latency;
+            ctx.send(target, self.transport.frame(pong), &latency);
+        }
+    }
+}
 
 impl Actor for ReplayPeer {
     type Msg = NetMsg;
@@ -79,24 +101,10 @@ impl Actor for ReplayPeer {
                 ctx.set_timer(self.end_offset, TAG_END);
             }
             NetMsg::ConnectReply(gnutella::HandshakeResponse::Busy) => ctx.remove_self(),
+            NetMsg::Frame(m) => self.handle_frame(ctx, &m),
             NetMsg::Data(mut bytes) => {
-                // Stay alive under the target's idle probing.
                 while let Ok(m) = gnutella::wire::decode_message(&mut bytes) {
-                    if matches!(m.payload, Payload::Ping) {
-                        let pong = Message::originate(
-                            Guid::random(&mut self.rng),
-                            Payload::Pong(Pong {
-                                port: 6346,
-                                addr: self.addr,
-                                shared_files: 0,
-                                shared_kb: 0,
-                            }),
-                        )
-                        .first_hop();
-                        let target = self.target;
-                        let latency = self.latency;
-                        ctx.send(target, NetMsg::Data(encode_message(&pong)), &latency);
-                    }
+                    self.handle_frame(ctx, &m);
                 }
             }
             NetMsg::Disconnect | NetMsg::Connect { .. } => {}
@@ -122,7 +130,7 @@ impl Actor for ReplayPeer {
             Payload::Query(Query::keywords(query.to_query_string())),
         )
         .first_hop();
-        ctx.send(target, NetMsg::Data(encode_message(&msg)), &latency);
+        ctx.send(target, self.transport.frame(msg), &latency);
     }
 }
 
@@ -162,6 +170,7 @@ impl Actor for ReplaySpawner {
             queries: s.queries.clone(),
             end_offset: s.end_offset,
             latency: self.latency,
+            transport: Transport::default(),
             rng: StdRng::seed_from_u64(self.seed ^ tag),
             connected: false,
         };

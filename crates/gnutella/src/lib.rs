@@ -38,9 +38,9 @@ pub mod wire;
 pub use guid::Guid;
 pub use handshake::{Handshake, HandshakeResponse};
 pub use message::{Bye, Message, Payload, Pong, Query, QueryHit, QueryHitResult};
-pub use net::NetMsg;
+pub use net::{NetMsg, Transport};
 pub use peerlink::{IdleAction, IdleTracker};
 pub use query::QueryKey;
 pub use routing::RoutingTable;
 pub use symbols::QueryId;
-pub use wire::{decode_message, encode_message, WireError};
+pub use wire::{decode_message, encode_message, encoded_len, WireError};

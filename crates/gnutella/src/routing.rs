@@ -8,6 +8,31 @@
 use crate::guid::Guid;
 use simnet::{NodeId, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A hasher for keys that are already uniformly random, like [`Guid`]s
+/// (16 bytes straight from the RNG). SipHash's collision resistance buys
+/// nothing for such keys and its cost is paid on every insert, lookup,
+/// and expiry sweep of the routing table — the hottest map in the
+/// simulation — so the written bytes are just XOR-folded into the hash.
+#[derive(Default)]
+pub struct RandomKeyHasher(u64);
+
+impl Hasher for RandomKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for chunk in bytes.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            h ^= u64::from_le_bytes(b);
+        }
+        self.0 = h;
+    }
+}
 
 /// Default entry lifetime from the protocol specification.
 pub const DEFAULT_EXPIRY: SimDuration = SimDuration::from_secs(600);
@@ -16,7 +41,7 @@ pub const DEFAULT_EXPIRY: SimDuration = SimDuration::from_secs(600);
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     expiry: SimDuration,
-    map: HashMap<Guid, (NodeId, SimTime)>,
+    map: HashMap<Guid, (NodeId, SimTime), BuildHasherDefault<RandomKeyHasher>>,
     /// Insertion order for O(1) amortized expiry sweeps.
     order: VecDeque<(Guid, SimTime)>,
     /// Lifetime counters.
@@ -35,7 +60,7 @@ impl RoutingTable {
     pub fn with_expiry(expiry: SimDuration) -> Self {
         RoutingTable {
             expiry,
-            map: HashMap::new(),
+            map: HashMap::default(),
             order: VecDeque::new(),
             inserted_total: 0,
             expired_total: 0,

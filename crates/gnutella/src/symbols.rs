@@ -26,7 +26,66 @@ use crate::query::QueryKey;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{OnceLock, RwLock};
+
+/// Lock-free side table of resolved text *lengths*, indexed by raw id.
+///
+/// `encoded_len` needs the byte length of a query's text for every
+/// message the measurement peer records — tens of millions of times per
+/// campaign — and taking the interner's read lock plus a random read of
+/// the entry table per call is measurable. Lengths are published here at
+/// intern time (under the interner's write lock, before the id escapes)
+/// into append-only buckets of doubling size, so readers do one atomic
+/// bucket load and one indexed atomic read, no lock.
+///
+/// Bucket `b` covers ids `2^b - 1 .. 2^(b+1) - 1`; 32 buckets cover the
+/// whole `u32` id space.
+struct LenTable {
+    buckets: [OnceLock<Box<[AtomicUsize]>>; 32],
+}
+
+impl LenTable {
+    const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const EMPTY: OnceLock<Box<[AtomicUsize]>> = OnceLock::new();
+        LenTable {
+            buckets: [EMPTY; 32],
+        }
+    }
+
+    #[inline]
+    fn locate(id: u32) -> (usize, usize) {
+        let pos = id as usize + 1;
+        let bucket = (usize::BITS - 1 - pos.leading_zeros()) as usize;
+        (bucket, pos - (1 << bucket))
+    }
+
+    /// Publish the length for `id`. Called only while the interner's
+    /// write lock is held (so bucket initialization never races with
+    /// another writer) and before `id` is handed out.
+    fn publish(&self, id: u32, len: usize) {
+        let (bucket, idx) = Self::locate(id);
+        let slab = self.buckets[bucket].get_or_init(|| {
+            (0..(1usize << bucket))
+                .map(|_| AtomicUsize::new(0))
+                .collect()
+        });
+        slab[idx].store(len, Ordering::Release);
+    }
+
+    /// Length for an id that has been interned.
+    #[inline]
+    fn get(&self, id: u32) -> usize {
+        let (bucket, idx) = Self::locate(id);
+        self.buckets[bucket]
+            .get()
+            .expect("QueryId bucket must exist for a handed-out id")[idx]
+            .load(Ordering::Acquire)
+    }
+}
+
+static LEN_TABLE: LenTable = LenTable::new();
 
 /// Handle to an interned query string.
 ///
@@ -56,6 +115,7 @@ impl Interner {
         }
         let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
         let id = self.entries.len() as u32;
+        LEN_TABLE.publish(id, leaked.len());
         self.map.insert(leaked, id);
         self.entries.push(Entry {
             text: leaked,
@@ -121,6 +181,13 @@ impl QueryId {
     /// Alias for [`QueryId::resolve`].
     pub fn as_str(self) -> &'static str {
         self.resolve()
+    }
+
+    /// Byte length of the resolved text, without taking the interner
+    /// lock (hot in wire-size accounting; see [`LenTable`]).
+    #[inline]
+    pub fn text_len(self) -> usize {
+        LEN_TABLE.get(self.0)
     }
 
     /// Id of this query's canonical keyword set (precomputed at intern

@@ -109,6 +109,41 @@ fn encode_payload(p: &Payload) -> Bytes {
     buf.freeze()
 }
 
+/// Exact wire size of `msg` — what `encode_message(msg).len()` would
+/// return — computed without allocating.
+///
+/// The typed transport ([`crate::net::NetMsg::Frame`]) skips the byte
+/// codec on the in-process hot path; byte accounting (trace volume
+/// statistics) stays honest by charging every recorded message its wire
+/// size through this function. Agreement with the real encoder is
+/// enforced by a proptest suite and by the sampling conformance layer
+/// ([`conformance`]).
+pub fn encoded_len(msg: &Message) -> usize {
+    23 + payload_len(&msg.payload)
+}
+
+/// Wire size of a payload body (excluding the 23-byte header).
+fn payload_len(p: &Payload) -> usize {
+    match p {
+        Payload::Ping => 0,
+        Payload::Pong(_) => 14,
+        Payload::Query(q) => {
+            // min_speed + text + NUL (+ sha1 extension + NUL).
+            2 + q.text.text_len() + 1 + q.sha1.as_ref().map_or(0, |sha1| sha1.len() + 1)
+        }
+        Payload::QueryHit(qh) => {
+            // count + port + addr + speed, per-result records, servent GUID.
+            11 + qh
+                .results
+                .iter()
+                .map(|r| 8 + r.name.len() + 2)
+                .sum::<usize>()
+                + 16
+        }
+        Payload::Bye(b) => 2 + b.reason.len() + 1,
+    }
+}
+
 /// Decode one message from the front of `buf`, advancing it.
 ///
 /// Returns [`WireError::Truncated`] when the buffer does not yet hold a
@@ -252,12 +287,89 @@ fn decode_payload(type_byte: u8, body: &mut Bytes) -> Result<Payload, WireError>
     }
 }
 
+pub mod conformance {
+    //! Wire-codec conformance checking for the typed fast path.
+    //!
+    //! The typed transport moves [`Message`] values directly between
+    //! actors, so the byte codec is no longer exercised per message. To
+    //! keep it from rotting, senders pass every in-flight frame through
+    //! [`maybe_check_frame`], which round-trips a deterministic sample
+    //! (every [`SAMPLE_INTERVAL`]-th frame, counted per process) through
+    //! `encode_message` → `decode_message` and asserts the decode
+    //! reproduces the original and that [`encoded_len`] agrees with the
+    //! encoder.
+    //!
+    //! Sampling is active in debug builds (`cfg(debug_assertions)`, which
+    //! covers the test suite) and can be forced in release builds with
+    //! `P2PQ_WIRE_CHECK=1`. The check consumes no RNG state, so enabling
+    //! it never perturbs simulation determinism — only wall time.
+
+    use super::{decode_message, encode_message, encoded_len};
+    use crate::message::Message;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// One in this many sent frames is round-tripped when checking is on.
+    pub const SAMPLE_INTERVAL: u64 = 256;
+
+    static FRAME_COUNTER: AtomicU64 = AtomicU64::new(0);
+    static CHECKED: AtomicU64 = AtomicU64::new(0);
+
+    /// True when conformance sampling is active for this process.
+    pub fn enabled() -> bool {
+        if cfg!(debug_assertions) {
+            return true;
+        }
+        static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *FORCED.get_or_init(|| std::env::var("P2PQ_WIRE_CHECK").is_ok_and(|v| v == "1"))
+    }
+
+    /// Round-trip `msg` through the byte codec and panic on any
+    /// disagreement. Called on sampled frames; also usable directly from
+    /// tests.
+    pub fn check_frame(msg: &Message) {
+        let mut encoded = encode_message(msg);
+        assert_eq!(
+            encoded.len(),
+            encoded_len(msg),
+            "encoded_len disagrees with encode_message for {msg:?}"
+        );
+        let decoded = decode_message(&mut encoded)
+            .unwrap_or_else(|e| panic!("conformance decode failed ({e}) for {msg:?}"));
+        assert_eq!(&decoded, msg, "codec round-trip changed the message");
+        assert!(
+            encoded.is_empty(),
+            "trailing bytes after conformance decode"
+        );
+        CHECKED.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sampling entry point used by the typed send path.
+    #[inline]
+    pub fn maybe_check_frame(msg: &Message) {
+        if !enabled() {
+            return;
+        }
+        if FRAME_COUNTER
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(SAMPLE_INTERVAL)
+        {
+            check_frame(msg);
+        }
+    }
+
+    /// Number of frames conformance-checked so far in this process.
+    pub fn frames_checked() -> u64 {
+        CHECKED.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
 
     fn round_trip(msg: &Message) {
+        assert_eq!(encode_message(msg).len(), encoded_len(msg));
         let mut encoded = encode_message(msg);
         let decoded = decode_message(&mut encoded).unwrap();
         assert_eq!(&decoded, msg);

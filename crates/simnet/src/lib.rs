@@ -27,7 +27,7 @@ pub mod event;
 pub mod latency;
 pub mod time;
 
-pub use engine::{Actor, Context, NodeId, Simulator, TimerId};
+pub use engine::{Actor, Context, NodeId, SimStats, Simulator, TimerId};
 pub use event::EventQueue;
 pub use latency::LatencyModel;
 pub use time::{SimDuration, SimTime};

@@ -6,12 +6,29 @@ use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
 
 /// A complete measurement trace: connection records plus message records.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     /// One record per direct connection, indexed by [`SessionId`].
     pub connections: Vec<ConnectionRecord>,
     /// All received messages, in arrival order.
     pub messages: Vec<MessageRecord>,
+    /// Total wire size of the recorded messages, in bytes — charged by the
+    /// collector via `gnutella::wire::encoded_len` regardless of whether
+    /// the frames traveled typed or byte-encoded. An in-memory provenance
+    /// statistic: it is not part of the JSONL interchange format (readers
+    /// of old traces see 0).
+    #[serde(skip)]
+    pub wire_bytes: u64,
+}
+
+/// Equality compares the recorded data — connections and messages — only.
+/// `wire_bytes` is in-memory provenance that does not survive the JSONL
+/// interchange format, so it does not participate: a deserialized trace
+/// equals the one that wrote it.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.connections == other.connections && self.messages == other.messages
+    }
 }
 
 /// One line of the JSONL interchange format.
@@ -35,6 +52,7 @@ impl Trace {
         Trace {
             connections: Vec::with_capacity(connections),
             messages: Vec::with_capacity(messages),
+            wire_bytes: 0,
         }
     }
 
@@ -101,6 +119,7 @@ impl Trace {
         Ok(Trace {
             connections,
             messages,
+            wire_bytes: 0,
         })
     }
 }

@@ -79,6 +79,7 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
             Trace {
                 connections,
                 messages,
+                wire_bytes: 0,
             }
         })
 }
