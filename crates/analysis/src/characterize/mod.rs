@@ -6,6 +6,7 @@
 //! paper's log-log axes.
 
 pub mod first_query;
+pub mod histograms;
 pub mod interarrival;
 pub mod last_query;
 pub mod passive;

@@ -22,7 +22,8 @@ use geoip::{GeoDb, Region};
 use gnutella::QueryId;
 use serde::{Deserialize, Serialize};
 use simnet::SimTime;
-use trace::{Sessions, Trace};
+use std::net::Ipv4Addr;
+use trace::{QueryObs, Sessions, Trace};
 
 /// Table 2: queries/sessions removed by each rule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +55,24 @@ pub struct FilterReport {
 }
 
 impl FilterReport {
+    /// Absorb another report's counters (shard merge). Every field is a
+    /// plain event count, so summing per-shard reports is exactly the
+    /// report a single filter pass over the union would produce.
+    pub fn merge(&mut self, other: &FilterReport) {
+        self.raw_sessions += other.raw_sessions;
+        self.unfinished_sessions += other.unfinished_sessions;
+        self.raw_queries += other.raw_queries;
+        self.rule1_removed += other.rule1_removed;
+        self.rule2_removed += other.rule2_removed;
+        self.rule3_sessions_removed += other.rule3_sessions_removed;
+        self.rule3_queries_removed += other.rule3_queries_removed;
+        self.final_sessions += other.final_sessions;
+        self.final_queries += other.final_queries;
+        self.rule4_flagged += other.rule4_flagged;
+        self.rule5_flagged += other.rule5_flagged;
+        self.interarrival_queries += other.interarrival_queries;
+    }
+
     /// Render in the style of Table 2.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
@@ -241,106 +260,141 @@ pub fn apply_filters_to_sessions(sessions: &Sessions, db: &GeoDb) -> FilteredTra
             report.unfinished_sessions += 1;
             continue;
         };
-        // Undo the known idle-probe overestimate for silently-vanished
-        // peers (see [`PROBE_CLOSE_CORRECTION_MS`]). The corrected end
-        // never precedes the last received message: the probe fires only
-        // after 15 s + 15 s of silence.
-        let end = if view.closed_by_probe {
-            SimTime::from_millis(
-                end.as_millis()
-                    .saturating_sub(PROBE_CLOSE_CORRECTION_MS)
-                    .max(view.start.as_millis()),
-            )
-        } else {
-            end
-        };
-        report.raw_sessions += 1;
-        report.raw_queries += view.queries.len() as u64;
-
-        // Rules 1 and 2 (per-session, in arrival order).
-        let mut kept: Vec<FilteredQuery> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for q in &view.queries {
-            // Canonical keyword-set id, precomputed at intern time — no
-            // per-query normalization or allocation here.
-            let key = q.text.canonical();
-            // Rule 1: SHA1 extension with empty keywords.
-            if q.sha1 && key.is_empty() {
-                report.rule1_removed += 1;
-                continue;
-            }
-            // Rule 2: keyword set already issued in this session.
-            if !seen.insert(key) {
-                report.rule2_removed += 1;
-                continue;
-            }
-            kept.push(FilteredQuery {
-                at: q.at,
-                key,
-                flagged45: false,
-            });
-        }
-
-        // Rule 3: session length below 64 s.
-        let duration = end.since(view.start).as_secs_f64();
-        if duration < MIN_SESSION_SECS {
-            report.rule3_sessions_removed += 1;
-            report.rule3_queries_removed += kept.len() as u64;
-            continue;
-        }
-
-        // Rules 4 and 5: flag system-timed arrivals. Rule 5 compares
-        // interarrival times at 1-second resolution: client re-query
-        // timers tick in whole seconds while network jitter perturbs
-        // arrival times by milliseconds, so exact-millisecond equality
-        // would never fire on a real (or realistically simulated) link.
-        // The comparison window covers the last few gaps, not only the
-        // immediately preceding one — a fixed-interval re-query train
-        // resumes its signature interval after a user query interleaves,
-        // and a single-gap memory would miss the resumption.
-        const RULE5_WINDOW: usize = 3;
-        let mut recent_gaps: Vec<u64> = Vec::with_capacity(RULE5_WINDOW);
-        for i in 1..kept.len() {
-            let gap_ms = kept[i].at.since(kept[i - 1].at).as_millis();
-            let gap_s = (gap_ms + 500) / 1_000; // nearest second
-            if gap_ms < RULE4_THRESHOLD_MS {
-                // A sub-second gap marks BOTH endpoints as automated: the
-                // chain is one re-query burst, and its first message is no
-                // more user-timed than the rest.
-                if !kept[i - 1].flagged45 {
-                    kept[i - 1].flagged45 = true;
-                    report.rule4_flagged += 1;
-                }
-                kept[i].flagged45 = true;
-                report.rule4_flagged += 1;
-            } else if gap_s > 1 && recent_gaps.contains(&gap_s) {
-                kept[i].flagged45 = true;
-                report.rule5_flagged += 1;
-            }
-            if recent_gaps.len() == RULE5_WINDOW {
-                recent_gaps.remove(0);
-            }
-            recent_gaps.push(gap_s);
-        }
-
-        report.final_sessions += 1;
-        report.final_queries += kept.len() as u64;
-        report.interarrival_queries += kept.iter().filter(|q| !q.flagged45).count() as u64;
-
-        out.push(FilteredSession {
-            region: db.lookup(view.addr),
-            ultrapeer: view.ultrapeer,
-            user_agent: view.user_agent.clone(),
-            start: view.start,
+        if let Some(fs) = filter_completed_session(
+            db,
+            &mut report,
+            view.addr,
+            &view.user_agent,
+            view.ultrapeer,
+            view.start,
             end,
-            queries: kept,
-        });
+            view.closed_by_probe,
+            &view.queries,
+        ) {
+            out.push(fs);
+        }
     }
 
     FilteredTrace {
         sessions: out,
         report,
     }
+}
+
+/// Run rules 1–5 on one *completed* session, updating the Table 2
+/// accounting in `report`. Returns the surviving [`FilteredSession`], or
+/// `None` when rule 3 discards the session.
+///
+/// This is the single source of truth for the per-session filter logic:
+/// the batch path above and the streaming pipeline
+/// (`analysis::streaming`) both call it, which is what makes
+/// streaming-mode output bit-identical to batch output.
+#[allow(clippy::too_many_arguments)]
+pub fn filter_completed_session(
+    db: &GeoDb,
+    report: &mut FilterReport,
+    addr: Ipv4Addr,
+    user_agent: &str,
+    ultrapeer: bool,
+    start: SimTime,
+    end: SimTime,
+    closed_by_probe: bool,
+    queries: &[QueryObs],
+) -> Option<FilteredSession> {
+    // Undo the known idle-probe overestimate for silently-vanished
+    // peers (see [`PROBE_CLOSE_CORRECTION_MS`]). The corrected end
+    // never precedes the last received message: the probe fires only
+    // after 15 s + 15 s of silence.
+    let end = if closed_by_probe {
+        SimTime::from_millis(
+            end.as_millis()
+                .saturating_sub(PROBE_CLOSE_CORRECTION_MS)
+                .max(start.as_millis()),
+        )
+    } else {
+        end
+    };
+    report.raw_sessions += 1;
+    report.raw_queries += queries.len() as u64;
+
+    // Rules 1 and 2 (per-session, in arrival order).
+    let mut kept: Vec<FilteredQuery> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for q in queries {
+        // Canonical keyword-set id, precomputed at intern time — no
+        // per-query normalization or allocation here.
+        let key = q.text.canonical();
+        // Rule 1: SHA1 extension with empty keywords.
+        if q.sha1 && key.is_empty() {
+            report.rule1_removed += 1;
+            continue;
+        }
+        // Rule 2: keyword set already issued in this session.
+        if !seen.insert(key) {
+            report.rule2_removed += 1;
+            continue;
+        }
+        kept.push(FilteredQuery {
+            at: q.at,
+            key,
+            flagged45: false,
+        });
+    }
+
+    // Rule 3: session length below 64 s.
+    let duration = end.since(start).as_secs_f64();
+    if duration < MIN_SESSION_SECS {
+        report.rule3_sessions_removed += 1;
+        report.rule3_queries_removed += kept.len() as u64;
+        return None;
+    }
+
+    // Rules 4 and 5: flag system-timed arrivals. Rule 5 compares
+    // interarrival times at 1-second resolution: client re-query
+    // timers tick in whole seconds while network jitter perturbs
+    // arrival times by milliseconds, so exact-millisecond equality
+    // would never fire on a real (or realistically simulated) link.
+    // The comparison window covers the last few gaps, not only the
+    // immediately preceding one — a fixed-interval re-query train
+    // resumes its signature interval after a user query interleaves,
+    // and a single-gap memory would miss the resumption.
+    const RULE5_WINDOW: usize = 3;
+    let mut recent_gaps: Vec<u64> = Vec::with_capacity(RULE5_WINDOW);
+    for i in 1..kept.len() {
+        let gap_ms = kept[i].at.since(kept[i - 1].at).as_millis();
+        let gap_s = (gap_ms + 500) / 1_000; // nearest second
+        if gap_ms < RULE4_THRESHOLD_MS {
+            // A sub-second gap marks BOTH endpoints as automated: the
+            // chain is one re-query burst, and its first message is no
+            // more user-timed than the rest.
+            if !kept[i - 1].flagged45 {
+                kept[i - 1].flagged45 = true;
+                report.rule4_flagged += 1;
+            }
+            kept[i].flagged45 = true;
+            report.rule4_flagged += 1;
+        } else if gap_s > 1 && recent_gaps.contains(&gap_s) {
+            kept[i].flagged45 = true;
+            report.rule5_flagged += 1;
+        }
+        if recent_gaps.len() == RULE5_WINDOW {
+            recent_gaps.remove(0);
+        }
+        recent_gaps.push(gap_s);
+    }
+
+    report.final_sessions += 1;
+    report.final_queries += kept.len() as u64;
+    report.interarrival_queries += kept.iter().filter(|q| !q.flagged45).count() as u64;
+
+    Some(FilteredSession {
+        region: db.lookup(addr),
+        ultrapeer,
+        user_agent: user_agent.to_owned(),
+        start,
+        end,
+        queries: kept,
+    })
 }
 
 #[cfg(test)]

@@ -16,7 +16,11 @@
 //! * [`hitrate`] — the §5 future work: query hit rates attributed by
 //!   GUID, per region, with the hit-rate / query-count correlation;
 //! * [`correlations`] — the §4.5 headline correlations: session duration
-//!   vs #queries (present), interarrival vs #queries (absent for NA).
+//!   vs #queries (present), interarrival vs #queries (absent for NA);
+//! * [`streaming`] — the online form of the pipeline: a [`trace::TraceSink`]
+//!   that filters each session the moment it closes and folds it into
+//!   incremental aggregates, so campaigns run without materializing the
+//!   message trace.
 //!
 //! The pipeline's input is a [`trace::Trace`]; region resolution uses the
 //! same [`geoip::GeoDb`] the generator allocated addresses from, exactly
@@ -32,5 +36,7 @@ pub mod hitrate;
 pub mod load;
 pub mod popularity;
 pub mod representative;
+pub mod streaming;
 
 pub use filter::{apply_filters, FilterReport, FilteredQuery, FilteredSession, FilteredTrace};
+pub use streaming::{StreamingPipeline, StreamingResult};

@@ -3,7 +3,7 @@
 //! The number of (filtered, unflagged) queries received from each region
 //! in 30-minute bins, averaged over days, with min/max across days.
 
-use crate::filter::FilteredTrace;
+use crate::filter::{FilteredSession, FilteredTrace};
 use geoip::Region;
 use stats::histogram::TimeOfDayBins;
 use stats::Series;
@@ -21,28 +21,83 @@ pub struct LoadPanel {
     pub total: u64,
 }
 
-/// Compute the Figure 3 panel for one region (30-minute bins).
-pub fn query_load_by_time(ft: &FilteredTrace, region: Region) -> LoadPanel {
-    let mut bins = TimeOfDayBins::new(1_800).expect("1800 s divides a day");
-    let mut total = 0u64;
-    for s in ft.sessions.iter().filter(|s| s.region == region) {
-        for q in s.queries.iter().filter(|q| !q.flagged45) {
-            bins.count_at(q.at.as_secs());
-            total += 1;
+/// Incremental query-load accumulator: per-region 30-minute time-of-day
+/// bins plus totals, fed one filtered session at a time. The batch
+/// [`query_load_by_time`] and the streaming pipeline both accumulate
+/// through [`LoadAccumulator::add_session`], so their panels are
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadAccumulator {
+    /// Per [`Region::index`], the binned unflagged-query counts.
+    bins: [TimeOfDayBins; 4],
+    /// Per [`Region::index`], the total unflagged-query count.
+    totals: [u64; 4],
+}
+
+impl Default for LoadAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoadAccumulator {
+    /// Empty accumulator with the Figure 3 bin width (30 minutes).
+    pub fn new() -> LoadAccumulator {
+        LoadAccumulator {
+            bins: std::array::from_fn(|_| TimeOfDayBins::new(1_800).expect("1800 s divides a day")),
+            totals: [0; 4],
         }
     }
-    let mut average = bins.average_series();
-    average.label = "Average".into();
-    let mut min = bins.min_series();
-    min.label = "Min".into();
-    let mut max = bins.max_series();
-    max.label = "Max".into();
-    LoadPanel {
-        average,
-        min,
-        max,
-        total,
+
+    /// Count one session's unflagged queries into its region's bins.
+    pub fn add_session(&mut self, s: &FilteredSession) {
+        let i = s.region.index();
+        for q in s.queries.iter().filter(|q| !q.flagged45) {
+            self.bins[i].count_at(q.at.as_secs());
+            self.totals[i] += 1;
+        }
     }
+
+    /// Absorb another accumulator (shard merge).
+    pub fn merge(&mut self, other: &LoadAccumulator) {
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            mine.merge(theirs).expect("identical bin widths");
+        }
+        for (a, b) in self.totals.iter_mut().zip(&other.totals) {
+            *a += b;
+        }
+    }
+
+    /// Render one region's Figure 3 panel.
+    pub fn panel(&self, region: Region) -> LoadPanel {
+        let bins = &self.bins[region.index()];
+        let mut average = bins.average_series();
+        average.label = "Average".into();
+        let mut min = bins.min_series();
+        min.label = "Min".into();
+        let mut max = bins.max_series();
+        max.label = "Max".into();
+        LoadPanel {
+            average,
+            min,
+            max,
+            total: self.totals[region.index()],
+        }
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        self.bins.iter().map(|b| b.mem_bytes()).sum()
+    }
+}
+
+/// Compute the Figure 3 panel for one region (30-minute bins).
+pub fn query_load_by_time(ft: &FilteredTrace, region: Region) -> LoadPanel {
+    let mut acc = LoadAccumulator::new();
+    for s in ft.sessions.iter().filter(|s| s.region == region) {
+        acc.add_session(s);
+    }
+    acc.panel(region)
 }
 
 /// Identify the peak bin (hour-of-day of the highest average load).
@@ -81,6 +136,28 @@ mod tests {
         assert_eq!(p.min.ys()[26], 1.0);
         assert_eq!(p.max.ys()[26], 3.0);
         assert!((peak_hour(&p) - 13.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_batch_panel() {
+        let sessions = vec![
+            session(Region::Europe, 13 * 3600, 4_000, &[600, 700, 800]),
+            session(Region::Europe, 86_400 + 13 * 3600, 4_000, &[600]),
+            session(Region::Asia, 9 * 3600, 1_000, &[100]),
+        ];
+        let ft = FilteredTrace {
+            sessions: sessions.clone(),
+            report: FilterReport::default(),
+        };
+        let mut a = LoadAccumulator::new();
+        let mut b = LoadAccumulator::new();
+        for (i, s) in sessions.iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.add_session(s);
+        }
+        a.merge(&b);
+        for r in [Region::Europe, Region::Asia, Region::NorthAmerica] {
+            assert_eq!(a.panel(r), query_load_by_time(&ft, r));
+        }
     }
 
     #[test]

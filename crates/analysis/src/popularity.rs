@@ -6,7 +6,7 @@
 //! deduplicated keyword sets, so each observation is one (day, region,
 //! keyword-set) event per session.
 
-use crate::filter::FilteredTrace;
+use crate::filter::{FilteredSession, FilteredTrace};
 use geoip::Region;
 use gnutella::QueryId;
 use serde::{Deserialize, Serialize};
@@ -75,7 +75,7 @@ impl GeoClass {
 }
 
 /// Per-day query observations: `counts[day][region][key] = issue count`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DailyObservations {
     /// Per day, per region (index), counts per keyword set.
     days: Vec<[HashMap<QueryId, u64>; 4]>,
@@ -85,22 +85,58 @@ impl DailyObservations {
     /// Collect observations from a filtered trace (each query is binned by
     /// its own arrival day).
     pub fn collect(ft: &FilteredTrace) -> DailyObservations {
-        let mut days: Vec<[HashMap<QueryId, u64>; 4]> = Vec::new();
+        let mut obs = DailyObservations::default();
         for s in &ft.sessions {
-            for q in &s.queries {
-                let day = q.at.day() as usize;
-                while days.len() <= day {
-                    days.push(Default::default());
+            obs.add_session(s);
+        }
+        obs
+    }
+
+    /// Add one session's queries (the streaming path; [`Self::collect`]
+    /// is this applied to every session). All queries count, including
+    /// rule-4/5-flagged ones (§3.3: automated re-sends still reflect
+    /// user interest).
+    pub fn add_session(&mut self, s: &FilteredSession) {
+        for q in &s.queries {
+            let day = q.at.day() as usize;
+            while self.days.len() <= day {
+                self.days.push(Default::default());
+            }
+            *self.days[day][s.region.index()].entry(q.key).or_insert(0) += 1;
+        }
+    }
+
+    /// Absorb another observation set, summing per-(day, region, key)
+    /// counts. Counts are order-independent sums, so merging per-shard
+    /// observations equals collecting the union of their sessions.
+    pub fn merge(&mut self, other: &DailyObservations) {
+        while self.days.len() < other.days.len() {
+            self.days.push(Default::default());
+        }
+        for (mine, theirs) in self.days.iter_mut().zip(&other.days) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                for (k, c) in t {
+                    *m.entry(*k).or_insert(0) += c;
                 }
-                *days[day][s.region.index()].entry(q.key).or_insert(0) += 1;
             }
         }
-        DailyObservations { days }
     }
 
     /// Number of observed days.
     pub fn n_days(&self) -> usize {
         self.days.len()
+    }
+
+    /// Estimated heap footprint in bytes (hash-map capacity based).
+    pub fn mem_bytes(&self) -> u64 {
+        // ~17 bytes per swiss-table slot: 12-byte (QueryId, u64) pair
+        // padded to 16 plus one control byte.
+        let per_slot = (std::mem::size_of::<(QueryId, u64)>() + 1) as u64;
+        self.days
+            .iter()
+            .flat_map(|d| d.iter())
+            .map(|m| m.capacity() as u64 * per_slot)
+            .sum()
     }
 
     /// Distinct keys issued by `region` during days `[start, start + len)`.
@@ -502,6 +538,24 @@ mod tests {
         assert_eq!(class_sizes(&obs, 0, 1).na, 1);
         assert_eq!(class_sizes(&obs, 0, 2).na, 2);
         assert_eq!(obs.n_days(), 2);
+    }
+
+    #[test]
+    fn merge_equals_collect_of_union() {
+        let sessions = vec![
+            session_with_keys(Region::NorthAmerica, 0, &["a one", "shared x"]),
+            session_with_keys(Region::Europe, 0, &["shared x"]),
+            session_with_keys(Region::Asia, 1, &["late q"]),
+            session_with_keys(Region::NorthAmerica, 2, &["a one"]),
+        ];
+        let whole = DailyObservations::collect(&ft(sessions.clone()));
+        let mut a = DailyObservations::default();
+        let mut b = DailyObservations::default();
+        for (i, s) in sessions.iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.add_session(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
     }
 
     #[test]

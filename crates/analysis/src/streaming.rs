@@ -1,0 +1,396 @@
+//! Streaming analysis: consume the trace as it is recorded.
+//!
+//! The retain-mode pipeline materializes the whole columnar
+//! [`trace::Trace`] and analyzes it afterwards — fine for replay and
+//! JSONL export, but the trace dominates peak memory at paper scale
+//! (40 days × ~100k sessions/day). [`StreamingPipeline`] instead plugs
+//! into the collector as a [`TraceSink`]: it keeps only the *open*
+//! sessions' pending queries, runs the §3.3 filter rules the moment a
+//! session closes (via [`filter_completed_session`], the same function
+//! the batch path uses), and folds the surviving session into online
+//! aggregators — [`DailyObservations`] for popularity,
+//! [`SessionHistograms`] for the §4.3–§4.5 measures, and
+//! [`LoadAccumulator`] for the Figure 3 load curves. The full message
+//! stream is never stored.
+//!
+//! With `retain_sessions` enabled the pipeline additionally keeps the
+//! filtered sessions themselves (orders of magnitude smaller than the
+//! raw message trace), which the equivalence tests use to prove the
+//! streaming output bit-identical to the batch output.
+
+use crate::characterize::histograms::SessionHistograms;
+use crate::filter::{filter_completed_session, FilteredQuery, FilteredSession, FilteredTrace};
+use crate::load::LoadAccumulator;
+use crate::popularity::DailyObservations;
+use geoip::GeoDb;
+use parking_lot::Mutex;
+use simnet::SimTime;
+use std::collections::HashMap;
+use std::mem::size_of;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use trace::{ConnectionRecord, MessageRecord, QueryObs, RecordedPayload, SessionId, TraceSink};
+
+/// A session that has connected but not yet closed: the fields the
+/// filter will need, plus its one-hop queries so far.
+struct LiveSession {
+    addr: Ipv4Addr,
+    user_agent: String,
+    ultrapeer: bool,
+    start: SimTime,
+    queries: Vec<QueryObs>,
+}
+
+/// Refresh the (mildly expensive) aggregate-size estimate every this
+/// many session closes.
+const AGG_REFRESH_CLOSES: u64 = 1_024;
+
+/// Approximate per-entry overhead of the live-session hash map.
+const MAP_ENTRY_OVERHEAD: u64 = 48;
+
+/// Online analysis pipeline; implements [`TraceSink`] so it can be
+/// registered directly on a [`trace::MeasurementPeer`] (or behind a
+/// [`trace::Fanout`] next to a retaining [`trace::Trace`]).
+pub struct StreamingPipeline {
+    db: GeoDb,
+    live: HashMap<u64, LiveSession>,
+    retain_sessions: bool,
+    retained: Vec<(u64, FilteredSession)>,
+    report: crate::filter::FilterReport,
+    obs: DailyObservations,
+    hist: SessionHistograms,
+    load: LoadAccumulator,
+    sessions_seen: u64,
+    messages_seen: u64,
+    wire_bytes: u64,
+    closes: u64,
+    live_bytes: u64,
+    retained_bytes: u64,
+    agg_bytes: u64,
+    peak_bytes: u64,
+}
+
+/// Everything a streaming campaign produces.
+#[derive(Debug, Clone)]
+pub struct StreamingResult {
+    /// Filter report plus (when `retain_sessions` was set) the filtered
+    /// sessions in start order — the exact [`FilteredTrace`] the batch
+    /// path computes. With retention off, `ft.sessions` is empty.
+    pub ft: FilteredTrace,
+    /// Per-day popularity observations (§4.6).
+    pub obs: DailyObservations,
+    /// Per-region session measure histograms (§4.3–§4.5).
+    pub hist: SessionHistograms,
+    /// Query load by time of day (§4.2).
+    pub load: LoadAccumulator,
+    /// Connected sessions observed (finished or not).
+    pub sessions_seen: u64,
+    /// Messages delivered to the sink.
+    pub messages_seen: u64,
+    /// Total encoded wire bytes of those messages.
+    pub wire_bytes: u64,
+    /// Peak estimated bytes held by the pipeline (live sessions +
+    /// retained sessions + aggregates) — the streaming counterpart of
+    /// [`trace::Trace::mem_bytes`].
+    pub peak_bytes: u64,
+}
+
+impl StreamingPipeline {
+    /// New pipeline resolving regions with `db`. With `retain_sessions`
+    /// the filtered sessions are kept (for equivalence checks or later
+    /// figure-path analysis); without it only fixed-size aggregates and
+    /// open sessions occupy memory.
+    pub fn new(db: GeoDb, retain_sessions: bool) -> StreamingPipeline {
+        StreamingPipeline {
+            db,
+            live: HashMap::new(),
+            retain_sessions,
+            retained: Vec::new(),
+            report: Default::default(),
+            obs: Default::default(),
+            hist: Default::default(),
+            load: Default::default(),
+            sessions_seen: 0,
+            messages_seen: 0,
+            wire_bytes: 0,
+            closes: 0,
+            live_bytes: 0,
+            retained_bytes: 0,
+            agg_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn live_base_bytes(user_agent: &str) -> u64 {
+        size_of::<LiveSession>() as u64 + MAP_ENTRY_OVERHEAD + user_agent.len() as u64
+    }
+
+    fn retained_session_bytes(fs: &FilteredSession) -> u64 {
+        (size_of::<(u64, FilteredSession)>()
+            + fs.user_agent.len()
+            + fs.queries.len() * size_of::<FilteredQuery>()) as u64
+    }
+
+    fn refresh_agg_bytes(&mut self) {
+        self.agg_bytes = self.obs.mem_bytes() + self.load.mem_bytes() + 6 * 3 * 60 * 8;
+    }
+
+    fn note_peak(&mut self) {
+        let now = self.live_bytes + self.retained_bytes + self.agg_bytes;
+        self.peak_bytes = self.peak_bytes.max(now);
+    }
+
+    /// Consume the pipeline, counting still-open sessions as unfinished
+    /// and sorting retained sessions into start order.
+    pub fn finish(mut self) -> StreamingResult {
+        self.report.unfinished_sessions += self.live.len() as u64;
+        self.refresh_agg_bytes();
+        self.note_peak();
+        // Per-shard session ids are assigned in connect order, so sid
+        // order is start order — matching the batch path's session
+        // iteration order.
+        self.retained.sort_by_key(|(sid, _)| *sid);
+        StreamingResult {
+            ft: FilteredTrace {
+                sessions: self.retained.into_iter().map(|(_, fs)| fs).collect(),
+                report: self.report,
+            },
+            obs: self.obs,
+            hist: self.hist,
+            load: self.load,
+            sessions_seen: self.sessions_seen,
+            messages_seen: self.messages_seen,
+            wire_bytes: self.wire_bytes,
+            peak_bytes: self.peak_bytes,
+        }
+    }
+}
+
+impl TraceSink for StreamingPipeline {
+    fn on_connect(&mut self, rec: ConnectionRecord) {
+        self.sessions_seen += 1;
+        self.live_bytes += Self::live_base_bytes(&rec.user_agent);
+        let prev = self.live.insert(
+            rec.id.0,
+            LiveSession {
+                addr: rec.addr,
+                user_agent: rec.user_agent,
+                ultrapeer: rec.ultrapeer,
+                start: rec.start,
+                queries: Vec::new(),
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate session id {}", rec.id.0);
+        self.note_peak();
+    }
+
+    fn on_batch(&mut self, records: &[MessageRecord], wire_lens: &[u32]) {
+        self.messages_seen += records.len() as u64;
+        self.wire_bytes += wire_lens.iter().map(|&w| u64::from(w)).sum::<u64>();
+        for rec in records {
+            if rec.hops != 1 {
+                continue;
+            }
+            let RecordedPayload::Query { text, sha1 } = rec.payload else {
+                continue;
+            };
+            if let Some(s) = self.live.get_mut(&rec.session.0) {
+                s.queries.push(QueryObs {
+                    at: rec.at,
+                    text,
+                    sha1,
+                });
+                self.live_bytes += size_of::<QueryObs>() as u64;
+            }
+        }
+        self.note_peak();
+    }
+
+    fn on_close(&mut self, id: SessionId, end: SimTime, by_probe: bool) {
+        let Some(s) = self.live.remove(&id.0) else {
+            debug_assert!(false, "close for unknown session {}", id.0);
+            return;
+        };
+        self.live_bytes = self.live_bytes.saturating_sub(
+            Self::live_base_bytes(&s.user_agent) + (s.queries.len() * size_of::<QueryObs>()) as u64,
+        );
+        if let Some(fs) = filter_completed_session(
+            &self.db,
+            &mut self.report,
+            s.addr,
+            &s.user_agent,
+            s.ultrapeer,
+            s.start,
+            end,
+            by_probe,
+            &s.queries,
+        ) {
+            self.obs.add_session(&fs);
+            self.hist.add_session(&fs);
+            self.load.add_session(&fs);
+            if self.retain_sessions {
+                self.retained_bytes += Self::retained_session_bytes(&fs);
+                self.retained.push((id.0, fs));
+            }
+        }
+        self.closes += 1;
+        if self.closes.is_multiple_of(AGG_REFRESH_CLOSES) {
+            self.refresh_agg_bytes();
+        }
+        self.note_peak();
+    }
+}
+
+impl StreamingResult {
+    /// Merge per-shard results into the campaign-wide result.
+    ///
+    /// Retained sessions are concatenated in shard order and stably
+    /// sorted by start time — the same (start, shard) order the
+    /// retain-mode trace merge produces, so the merged `ft` is
+    /// bit-identical to the batch pipeline's. Aggregates merge by
+    /// summation; `peak_bytes` sums because the shards ran concurrently.
+    pub fn merge(shards: Vec<StreamingResult>) -> StreamingResult {
+        let mut it = shards.into_iter();
+        let mut out = it.next().expect("at least one shard result");
+        for s in it {
+            out.ft.sessions.extend(s.ft.sessions);
+            out.ft.report.merge(&s.ft.report);
+            out.obs.merge(&s.obs);
+            out.hist.merge(&s.hist);
+            out.load.merge(&s.load);
+            out.sessions_seen += s.sessions_seen;
+            out.messages_seen += s.messages_seen;
+            out.wire_bytes += s.wire_bytes;
+            out.peak_bytes += s.peak_bytes;
+        }
+        out.ft.sessions.sort_by_key(|s| s.start);
+        out
+    }
+}
+
+/// Build one shared streaming sink per shard (the shapes
+/// [`behavior::run_population_sharded_into`] expects).
+pub fn shard_pipelines(
+    db: &GeoDb,
+    retain_sessions: bool,
+    n_shards: usize,
+) -> Vec<Arc<Mutex<StreamingPipeline>>> {
+    (0..n_shards)
+        .map(|_| {
+            Arc::new(Mutex::new(StreamingPipeline::new(
+                db.clone(),
+                retain_sessions,
+            )))
+        })
+        .collect()
+}
+
+/// Unwrap the per-shard pipelines after the campaign and merge their
+/// results. Panics if a pipeline is still shared.
+pub fn finish_shards(sinks: Vec<Arc<Mutex<StreamingPipeline>>>) -> StreamingResult {
+    StreamingResult::merge(
+        sinks
+            .into_iter()
+            .map(|s| {
+                Arc::try_unwrap(s)
+                    .unwrap_or_else(|_| panic!("streaming sink still shared"))
+                    .into_inner()
+                    .finish()
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnutella::Guid;
+
+    fn guid() -> Guid {
+        Guid([3; 16])
+    }
+
+    fn connect(p: &mut StreamingPipeline, id: u64, start_s: u64) {
+        p.on_connect(ConnectionRecord {
+            id: SessionId(id),
+            addr: Ipv4Addr::new(24, 10, 0, 1),
+            user_agent: "T/1".into(),
+            ultrapeer: false,
+            start: SimTime::from_secs(start_s),
+            end: None,
+            closed_by_probe: false,
+        });
+    }
+
+    fn query(session: u64, at_s: u64, text: &str) -> MessageRecord {
+        MessageRecord {
+            session: SessionId(session),
+            guid: guid(),
+            at: SimTime::from_secs(at_s),
+            hops: 1,
+            ttl: 6,
+            payload: RecordedPayload::Query {
+                text: text.into(),
+                sha1: false,
+            },
+        }
+    }
+
+    #[test]
+    fn filters_on_close_and_counts_unfinished() {
+        let mut p = StreamingPipeline::new(GeoDb::synthetic(), true);
+        connect(&mut p, 0, 100);
+        connect(&mut p, 1, 150);
+        connect(&mut p, 2, 200); // never closed
+        let records = [query(0, 400, "some song"), query(1, 160, "other tune")];
+        let wire = [40u32, 41];
+        p.on_batch(&records, &wire);
+        // Session 0: 300 s > 64 s → survives. Session 1: 20 s → rule 3.
+        p.on_close(SessionId(0), SimTime::from_secs(400), false);
+        p.on_close(SessionId(1), SimTime::from_secs(170), false);
+        let r = p.finish();
+        assert_eq!(r.sessions_seen, 3);
+        assert_eq!(r.messages_seen, 2);
+        assert_eq!(r.wire_bytes, 81);
+        assert_eq!(r.ft.report.raw_sessions, 2);
+        assert_eq!(r.ft.report.unfinished_sessions, 1);
+        assert_eq!(r.ft.report.rule3_sessions_removed, 1);
+        assert_eq!(r.ft.sessions.len(), 1);
+        assert_eq!(r.ft.sessions[0].queries.len(), 1);
+        assert!(r.peak_bytes > 0);
+    }
+
+    #[test]
+    fn merge_sorts_retained_by_start_stably() {
+        let db = GeoDb::synthetic();
+        let mk = |starts: &[u64]| {
+            let mut p = StreamingPipeline::new(db.clone(), true);
+            for (i, &s) in starts.iter().enumerate() {
+                connect(&mut p, i as u64, s);
+                p.on_close(SessionId(i as u64), SimTime::from_secs(s + 100), false);
+            }
+            p.finish()
+        };
+        let merged = StreamingResult::merge(vec![mk(&[50, 300]), mk(&[50, 120])]);
+        let starts: Vec<u64> = merged
+            .ft
+            .sessions
+            .iter()
+            .map(|s| s.start.as_secs())
+            .collect();
+        assert_eq!(starts, vec![50, 50, 120, 300]);
+        assert_eq!(merged.sessions_seen, 4);
+        assert_eq!(merged.ft.report.final_sessions, 4);
+    }
+
+    #[test]
+    fn retention_off_keeps_no_sessions() {
+        let mut p = StreamingPipeline::new(GeoDb::synthetic(), false);
+        connect(&mut p, 0, 100);
+        p.on_close(SessionId(0), SimTime::from_secs(400), false);
+        let r = p.finish();
+        assert!(r.ft.sessions.is_empty());
+        assert_eq!(r.ft.report.final_sessions, 1);
+        assert_eq!(r.hist.total_sessions(), 1);
+    }
+}

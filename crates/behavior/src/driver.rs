@@ -16,8 +16,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration, SimStats, SimTime, Simulator};
 use stats::rng::SeedSequence;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use trace::{CollectorConfig, MeasurementPeer, Trace};
+use trace::{CollectorConfig, MeasurementPeer, SharedSink, Trace};
 
 /// Configuration of a population run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -192,7 +193,8 @@ fn run_shard(
     vocab: Arc<Vocabulary>,
     seq: SeedSequence,
     sessions_per_day: f64,
-) -> (Trace, SimStats) {
+    sink: SharedSink,
+) -> SimStats {
     let planner = SessionPlanner::paper_default(vocab.clone());
     let db = GeoDb::synthetic();
     let alloc = Arc::new(AddressAllocator::new(&db));
@@ -206,15 +208,6 @@ fn run_shard(
         transport: cfg.transport,
     };
 
-    // Pre-reserve: expected connections plus slack, and a message volume
-    // estimate (relay + keepalive traffic dominates; ~tens of messages per
-    // session at default rates). Reallocation in the record hot path is
-    // what this avoids; over-estimates just waste a little memory briefly.
-    let expected_sessions = (sessions_per_day * cfg.days * 1.3) as usize + 64;
-    let trace = Arc::new(parking_lot::Mutex::new(Trace::with_capacity(
-        expected_sessions,
-        expected_sessions * 32,
-    )));
     // Queue pressure at any instant is one timer batch of arrivals (the
     // driver schedules an hour of arrivals at once) plus a handful of
     // pending timers and in-flight frames per live connection.
@@ -228,7 +221,7 @@ fn run_shard(
         transport: cfg.transport,
         ..CollectorConfig::default()
     };
-    let server = sim.add_node(Box::new(MeasurementPeer::new(collector_cfg, trace.clone())));
+    let server = sim.add_node(Box::new(MeasurementPeer::with_sink(collector_cfg, sink)));
 
     let end = SimTime::from_secs_f64(cfg.days * 86_400.0);
     let driver = PopulationDriver {
@@ -248,15 +241,31 @@ fn run_shard(
     sim.run_until(end + SimDuration::from_hours(2));
     let stats = sim.stats();
 
-    // The measurement peer inside the simulator holds the only other Arc
-    // handle; dropping the simulator first lets us take the trace by move
-    // instead of falling back to a whole-trace clone. (Dropping also
-    // flushes the collector's pending record buffer into the trace.)
+    // Dropping the simulator drops the measurement peer, which flushes the
+    // collector's pending record buffer into the sink — after this the
+    // sink has seen the complete stream.
     drop(sim);
-    let trace = Arc::try_unwrap(trace)
+    stats
+}
+
+/// Pre-reservation estimate for a retained trace: expected connections
+/// plus slack, and a message volume estimate (relay + keepalive traffic
+/// dominates; ~tens of messages per session at default rates).
+/// Reallocation in the record hot path is what this avoids;
+/// over-estimates just waste a little memory briefly.
+fn retained_trace_for(sessions_per_day: f64, days: f64) -> Arc<parking_lot::Mutex<Trace>> {
+    let expected_sessions = (sessions_per_day * days * 1.3) as usize + 64;
+    Arc::new(parking_lot::Mutex::new(Trace::with_capacity(
+        expected_sessions,
+        expected_sessions * 32,
+    )))
+}
+
+/// Take a trace back out of the shared handle after its campaign ended.
+fn unwrap_trace(trace: Arc<parking_lot::Mutex<Trace>>) -> Trace {
+    Arc::try_unwrap(trace)
         .map(parking_lot::Mutex::into_inner)
-        .unwrap_or_else(|arc| arc.lock().clone());
-    (trace, stats)
+        .unwrap_or_else(|arc| arc.lock().clone())
 }
 
 /// Run a full population campaign and return the measurement trace.
@@ -266,12 +275,118 @@ pub fn run_population(cfg: &PopulationConfig) -> Trace {
 
 /// [`run_population`] plus the engine statistics of the run.
 pub fn run_population_with_stats(cfg: &PopulationConfig) -> (Trace, CampaignStats) {
+    let trace = retained_trace_for(cfg.sessions_per_day, cfg.days);
+    let stats = run_population_into(cfg, trace.clone());
+    (unwrap_trace(trace), stats)
+}
+
+/// Run a full single-shard campaign, delivering the record stream to
+/// `sink` instead of materializing a trace. With a streaming aggregator
+/// sink the full trace is never held in memory; with a `Trace` sink this
+/// is exactly [`run_population_with_stats`].
+pub fn run_population_into(cfg: &PopulationConfig, sink: SharedSink) -> CampaignStats {
     let seq = SeedSequence::new(cfg.seed);
     let vocab = Arc::new(build_vocabulary(cfg, &seq));
-    let (trace, sim) = run_shard(cfg, vocab, seq, cfg.sessions_per_day);
+    let sim = run_shard(cfg, vocab, seq, cfg.sessions_per_day, sink);
     let mut stats = CampaignStats::default();
     stats.absorb(&sim);
-    (trace, stats)
+    stats
+}
+
+/// Number of OS worker threads used to run `n_shards` logical shards.
+///
+/// Logical shards are semantic (they determine the arrival streams and
+/// the merged output), worker threads are not — so by default the pool is
+/// clamped to [`std::thread::available_parallelism`]: requesting 8 shards
+/// on a 1-core box runs 8 simulators on one worker, bit-identical to the
+/// thread-per-shard result but without oversubscription. `force_threads`
+/// restores thread-per-shard (e.g. to measure the oversubscribed case).
+pub fn shard_worker_threads(n_shards: usize, force_threads: bool) -> usize {
+    if force_threads {
+        n_shards
+    } else {
+        n_shards.min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+}
+
+/// Run `n_shards` logical shards on a clamped worker pool, delivering
+/// each shard's record stream to the matching sink in `sinks`.
+///
+/// Shard seeds and rates depend only on `cfg` and `n_shards`, never on
+/// the worker count, so results are bit-identical whatever the pool size.
+/// Each sink sees a complete, well-ordered stream for its shard; merging
+/// across shards is the caller's concern (a retained-trace caller uses
+/// the canonical `(time, shard)` merge, a streaming caller merges its
+/// per-shard aggregates).
+///
+/// # Panics
+///
+/// Panics if `sinks.len() != n_shards`, `n_shards == 0`,
+/// `max_connections < n_shards`, or a worker thread panics.
+pub fn run_population_sharded_into(
+    cfg: &PopulationConfig,
+    n_shards: usize,
+    sinks: Vec<SharedSink>,
+    force_threads: bool,
+) -> CampaignStats {
+    assert!(n_shards >= 1, "n_shards must be at least 1");
+    assert_eq!(sinks.len(), n_shards, "one sink per shard required");
+    if n_shards == 1 {
+        let sink = sinks.into_iter().next().expect("one sink");
+        return run_population_into(cfg, sink);
+    }
+    assert!(
+        cfg.max_connections >= n_shards,
+        "max_connections ({}) must be at least n_shards ({}) so every shard can admit sessions",
+        cfg.max_connections,
+        n_shards
+    );
+    let seq = SeedSequence::new(cfg.seed);
+    let vocab = Arc::new(build_vocabulary(cfg, &seq));
+    let rate = cfg.sessions_per_day / n_shards as f64;
+    let shard_cfgs: Vec<PopulationConfig> = (0..n_shards)
+        .map(|i| {
+            let mut shard_cfg = cfg.clone();
+            shard_cfg.max_connections =
+                cfg.max_connections / n_shards + usize::from(i < cfg.max_connections % n_shards);
+            shard_cfg
+        })
+        .collect();
+
+    let threads = shard_worker_threads(n_shards, force_threads);
+    let next = AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<SimStats>>> = (0..n_shards)
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_shards {
+                    break;
+                }
+                let stats = run_shard(
+                    &shard_cfgs[i],
+                    Arc::clone(&vocab),
+                    seq.child_indexed("shard", i as u64),
+                    rate,
+                    Arc::clone(&sinks[i]),
+                );
+                *results[i].lock() = Some(stats);
+            }));
+        }
+        for h in handles {
+            h.join().expect("shard worker thread panicked");
+        }
+    });
+
+    let mut stats = CampaignStats::default();
+    for cell in &results {
+        let s = cell.lock().take().expect("shard did not report stats");
+        stats.absorb(&s);
+    }
+    stats
 }
 
 /// Run a population campaign as `n_shards` Poisson-thinned sub-campaigns
@@ -317,39 +432,16 @@ pub fn run_population_sharded_with_stats(
     if n_shards == 1 {
         return run_population_with_stats(cfg);
     }
-    assert!(
-        cfg.max_connections >= n_shards,
-        "max_connections ({}) must be at least n_shards ({}) so every shard can admit sessions",
-        cfg.max_connections,
-        n_shards
-    );
-    let seq = SeedSequence::new(cfg.seed);
-    let vocab = Arc::new(build_vocabulary(cfg, &seq));
     let rate = cfg.sessions_per_day / n_shards as f64;
-    let shards: Vec<(Trace, SimStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_shards)
-            .map(|i| {
-                let vocab = Arc::clone(&vocab);
-                let shard_seq = seq.child_indexed("shard", i as u64);
-                let mut shard_cfg = cfg.clone();
-                shard_cfg.max_connections = cfg.max_connections / n_shards
-                    + usize::from(i < cfg.max_connections % n_shards);
-                scope.spawn(move || run_shard(&shard_cfg, vocab, shard_seq, rate))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
-    });
-    let mut stats = CampaignStats::default();
-    let traces: Vec<Trace> = shards
-        .into_iter()
-        .map(|(t, s)| {
-            stats.absorb(&s);
-            t
-        })
+    let shard_traces: Vec<Arc<parking_lot::Mutex<Trace>>> = (0..n_shards)
+        .map(|_| retained_trace_for(rate, cfg.days))
         .collect();
+    let sinks: Vec<SharedSink> = shard_traces
+        .iter()
+        .map(|t| Arc::clone(t) as SharedSink)
+        .collect();
+    let stats = run_population_sharded_into(cfg, n_shards, sinks, false);
+    let traces: Vec<Trace> = shard_traces.into_iter().map(unwrap_trace).collect();
     (merge_shard_traces(traces), stats)
 }
 
@@ -361,7 +453,7 @@ fn merge_shard_traces(shards: Vec<Trace>) -> Trace {
     let wire_bytes: u64 = shards.iter().map(|t| t.wire_bytes).sum();
 
     let mut conns: Vec<(usize, trace::ConnectionRecord)> = Vec::with_capacity(n_conns);
-    let mut msg_lists: Vec<Vec<trace::MessageRecord>> = Vec::with_capacity(shards.len());
+    let mut msg_lists: Vec<trace::MessageColumns> = Vec::with_capacity(shards.len());
     for (shard, t) in shards.into_iter().enumerate() {
         conns.extend(t.connections.into_iter().map(|c| (shard, c)));
         msg_lists.push(t.messages);
@@ -370,27 +462,47 @@ fn merge_shard_traces(shards: Vec<Trace>) -> Trace {
     // by (start, shard) yields the canonical merged order.
     conns.sort_by_key(|(shard, c)| (c.start, *shard));
 
-    let mut remap: Vec<std::collections::HashMap<u64, u64>> =
-        vec![std::collections::HashMap::new(); msg_lists.len()];
+    // Per-shard session ids are dense from 0, so the remap is a plain
+    // vector lookup rather than a hash map.
+    let mut remap: Vec<Vec<u64>> = msg_lists.iter().map(|_| Vec::new()).collect();
     let mut connections = Vec::with_capacity(n_conns);
     for (new_id, (shard, mut c)) in conns.into_iter().enumerate() {
-        remap[shard].insert(c.id.0, new_id as u64);
+        let old = c.id.0 as usize;
+        if remap[shard].len() <= old {
+            remap[shard].resize(old + 1, u64::MAX);
+        }
+        remap[shard][old] = new_id as u64;
         c.id = trace::SessionId(new_id as u64);
         connections.push(c);
     }
 
-    let mut msgs: Vec<(usize, trace::MessageRecord)> = Vec::with_capacity(n_msgs);
-    for (shard, list) in msg_lists.into_iter().enumerate() {
-        for mut m in list {
-            m.session = trace::SessionId(remap[shard][&m.session.0]);
-            msgs.push((shard, m));
+    // K-way merge of the per-shard columns (each already arrival-ordered)
+    // into `(arrival, shard)` order: strict `<` with shards scanned in
+    // index order makes the earliest shard win ties, matching the old
+    // stable sort by `(at, shard)` bit for bit.
+    let mut messages = trace::MessageColumns::with_capacity(n_msgs);
+    let mut cursors = vec![0usize; msg_lists.len()];
+    loop {
+        let mut best: Option<(simnet::SimTime, usize)> = None;
+        for (shard, list) in msg_lists.iter().enumerate() {
+            if cursors[shard] < list.len() {
+                let t = list.time_at(cursors[shard]);
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, shard));
+                }
+            }
         }
+        let Some((_, shard)) = best else { break };
+        let i = cursors[shard];
+        cursors[shard] += 1;
+        let mut m = msg_lists[shard].get(i);
+        m.session = trace::SessionId(remap[shard][m.session.0 as usize]);
+        messages.push_with_wire(m, msg_lists[shard].wire_len(i));
     }
-    msgs.sort_by_key(|(shard, m)| (m.at, *shard));
 
     Trace {
         connections,
-        messages: msgs.into_iter().map(|(_, m)| m).collect(),
+        messages,
         wire_bytes,
     }
 }
@@ -518,10 +630,10 @@ mod tests {
         for w in merged.connections.windows(2) {
             assert!(w[0].start <= w[1].start);
         }
-        for w in merged.messages.windows(2) {
-            assert!(w[0].at <= w[1].at);
+        for i in 1..merged.messages.len() {
+            assert!(merged.messages.time_at(i - 1) <= merged.messages.time_at(i));
         }
-        for m in &merged.messages {
+        for m in merged.messages.iter() {
             assert!((m.session.0 as usize) < merged.connections.len());
         }
 

@@ -257,7 +257,7 @@ mod tests {
     use super::*;
     use parking_lot::Mutex;
     use std::sync::Arc;
-    use trace::{CollectorConfig, MeasurementPeer, Trace};
+    use trace::{CollectorConfig, Fanout, MeasurementPeer, SharedSink, Trace};
 
     #[test]
     fn replayed_workload_reaches_a_measurement_peer() {
@@ -306,5 +306,61 @@ mod tests {
             .count() as f64;
         let frac = na / tr.connections.len() as f64;
         assert!((0.55..0.9).contains(&frac), "NA fraction {frac}");
+    }
+
+    #[test]
+    fn fanout_feeds_retain_and_streaming_identically() {
+        // One replayed campaign into a Fanout(Trace, StreamingPipeline):
+        // batch analysis of the retained trace must equal the streaming
+        // pipeline's online result, event for event, on a live simulated
+        // measurement peer (not just the campaign driver).
+        let model = WorkloadModel::paper_default();
+        let db = GeoDb::synthetic();
+        let retained = Arc::new(Mutex::new(Trace::new()));
+        let streaming = Arc::new(Mutex::new(analysis::StreamingPipeline::new(
+            db.clone(),
+            true,
+        )));
+        let mut fanout = Fanout::new();
+        fanout.register(Arc::clone(&retained) as SharedSink);
+        fanout.register(Arc::clone(&streaming) as SharedSink);
+
+        let mut sim: Simulator<NetMsg> = Simulator::new(11);
+        let target = sim.add_node(Box::new(MeasurementPeer::with_sink(
+            CollectorConfig {
+                max_connections: 10_000,
+                ..CollectorConfig::default()
+            },
+            Arc::new(Mutex::new(fanout)) as SharedSink,
+        )));
+
+        let horizon = SimTime::from_secs(2 * 3600);
+        replay(
+            &mut sim,
+            target,
+            &model,
+            GeneratorConfig {
+                n_peers: 60,
+                seed: 3,
+                fixed_hour: Some(20),
+                ..GeneratorConfig::default()
+            },
+            horizon,
+            &db,
+        );
+        sim.run_until(horizon + SimDuration::from_hours(1));
+        drop(sim); // flush the collector
+
+        let tr = Arc::try_unwrap(retained).unwrap().into_inner();
+        let pipeline = Arc::try_unwrap(streaming)
+            .unwrap_or_else(|_| panic!("streaming sink still shared"))
+            .into_inner();
+        let batch = analysis::apply_filters(&tr, &db);
+        let online = pipeline.finish();
+        assert!(batch.report.final_sessions > 50);
+        assert_eq!(online.ft.report, batch.report);
+        assert_eq!(online.ft.sessions, batch.sessions);
+        assert_eq!(online.messages_seen as usize, tr.messages.len());
+        assert_eq!(online.wire_bytes, tr.wire_bytes);
     }
 }

@@ -93,6 +93,28 @@ impl Histogram {
         let ys = self.counts.iter().map(|&c| c as f64 / n).collect();
         Series::new(xs, ys)
     }
+
+    /// Absorb another histogram with the same range and bin count.
+    ///
+    /// Counts are plain sums, so merging per-shard histograms is exactly
+    /// equivalent to adding every observation to one histogram, in any
+    /// order.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), StatsError> {
+        if self.lo != other.lo || self.hi != other.hi || self.counts.len() != other.counts.len() {
+            return Err(StatsError::BadParameter {
+                name: "other",
+                value: other.lo,
+                constraint: "histogram ranges and bin counts must match",
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+        Ok(())
+    }
 }
 
 /// Logarithmically-binned histogram over `[lo, hi)`, `lo > 0`.
@@ -177,6 +199,27 @@ impl LogHistogram {
             ys.push(c as f64 / n / (right - left));
         }
         Series::new(xs, ys)
+    }
+
+    /// Absorb another log-histogram with the same range and bin count.
+    pub fn merge(&mut self, other: &LogHistogram) -> Result<(), StatsError> {
+        if self.log_lo != other.log_lo
+            || self.log_hi != other.log_hi
+            || self.counts.len() != other.counts.len()
+        {
+            return Err(StatsError::BadParameter {
+                name: "other",
+                value: other.log_lo,
+                constraint: "log-histogram ranges and bin counts must match",
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+        Ok(())
     }
 }
 
@@ -311,6 +354,40 @@ impl TimeOfDayBins {
     pub fn max_series(&self) -> Series {
         Series::new(self.bin_hours(), self.maxima())
     }
+
+    /// Absorb another accumulator with the same bin width, adding the
+    /// per-day, per-bin values elementwise. Days are aligned by absolute
+    /// day index, so merging per-shard accumulators equals counting every
+    /// event in one accumulator.
+    pub fn merge(&mut self, other: &TimeOfDayBins) -> Result<(), StatsError> {
+        if self.bin_seconds != other.bin_seconds {
+            return Err(StatsError::BadParameter {
+                name: "other",
+                value: other.bin_seconds as f64,
+                constraint: "bin widths must match",
+            });
+        }
+        let bins = self.bins_per_day();
+        while self.days.len() < other.days.len() {
+            self.days.push(vec![0.0; bins]);
+        }
+        for (mine, theirs) in self.days.iter_mut().zip(&other.days) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Estimated heap footprint in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.days.capacity() * std::mem::size_of::<Vec<f64>>()) as u64
+            + self
+                .days
+                .iter()
+                .map(|d| (d.capacity() * std::mem::size_of::<f64>()) as u64)
+                .sum::<u64>()
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +466,61 @@ mod tests {
     fn half_hour_bins() {
         let b = TimeOfDayBins::new(1800).unwrap();
         assert_eq!(b.bins_per_day(), 48);
+    }
+
+    #[test]
+    fn merge_equals_single_accumulation() {
+        // Split one observation stream across two histograms; the merge
+        // must be bit-identical to one histogram fed everything.
+        let xs = [0.5, 1.5, 1.6, 9.9, -1.0, 10.0, 25.0, 3.3];
+        let mut whole = Histogram::new(0.0, 10.0, 10).unwrap();
+        let mut a = Histogram::new(0.0, 10.0, 10).unwrap();
+        let mut b = Histogram::new(0.0, 10.0, 10).unwrap();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.add(x);
+            if i % 2 == 0 { &mut a } else { &mut b }.add(x);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, whole);
+        assert!(a.merge(&Histogram::new(0.0, 5.0, 10).unwrap()).is_err());
+
+        let mut lwhole = LogHistogram::new(1.0, 10_000.0, 8).unwrap();
+        let mut la = LogHistogram::new(1.0, 10_000.0, 8).unwrap();
+        let mut lb = LogHistogram::new(1.0, 10_000.0, 8).unwrap();
+        for (i, &x) in [2.0, 20.0, 200.0, 2_000.0, 0.5, 99_999.0]
+            .iter()
+            .enumerate()
+        {
+            lwhole.add(x);
+            if i % 2 == 0 { &mut la } else { &mut lb }.add(x);
+        }
+        la.merge(&lb).unwrap();
+        assert_eq!(la, lwhole);
+        assert!(la
+            .merge(&LogHistogram::new(2.0, 10_000.0, 8).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn time_of_day_merge_aligns_days() {
+        let mut whole = TimeOfDayBins::new(3600).unwrap();
+        let mut a = TimeOfDayBins::new(3600).unwrap();
+        let mut b = TimeOfDayBins::new(3600).unwrap();
+        let events: [u64; 5] = [
+            3 * 3600 + 10,
+            86_400 + 3 * 3600,
+            86_400 + 5 * 3600,
+            2 * 86_400 + 100,
+            40,
+        ];
+        for (i, &t) in events.iter().enumerate() {
+            whole.count_at(t);
+            if i % 2 == 0 { &mut a } else { &mut b }.count_at(t);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, whole);
+        assert_eq!(a.day_count(), 3);
+        assert!(a.merge(&TimeOfDayBins::new(1800).unwrap()).is_err());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! configurable for fidelity experiments.
 
 use crate::record::{ConnectionRecord, MessageRecord, RecordedPayload, SessionId};
+use crate::sink::SharedSink;
 use crate::store::Trace;
 use gnutella::message::{Message, Payload, Pong};
 use gnutella::net::{NetMsg, Transport};
@@ -164,32 +165,44 @@ pub struct MeasurementPeer {
     cfg: CollectorConfig,
     conns: ConnSet,
     routing: RoutingTable,
-    trace: Arc<Mutex<Trace>>,
+    sink: SharedSink,
     counters: CollectorCounters,
     rng: StdRng,
-    /// Arrival-ordered records not yet drained into the shared trace.
-    /// Recording appends here without taking any lock; [`Self::flush`]
-    /// moves whole chunks under one lock acquisition at session close,
-    /// buffer-full, or collector drop — so the shared-trace order is
+    /// Arrival-ordered records not yet delivered to the sink. Recording
+    /// appends here without taking any lock; [`Self::flush`] hands whole
+    /// chunks to the sink under one lock acquisition at session close,
+    /// buffer-full, or collector drop — so the delivered order is
     /// exactly the arrival order, bit-identical to per-message pushes.
     pending: Vec<MessageRecord>,
-    /// Wire bytes accounted for records still in `pending`.
-    pending_bytes: u64,
+    /// Wire length of each record still in `pending` (parallel vector).
+    pending_wire: Vec<u32>,
+    /// Next session id — collector-local so recording works against any
+    /// sink, not just a retained trace. Ids are dense from 0, which is
+    /// what indexes a retained trace's `connections` vector.
+    next_sid: u64,
 }
 
 impl MeasurementPeer {
-    /// Create a measurement peer writing into the shared `trace`.
+    /// Create a measurement peer writing into the shared `trace`
+    /// (retain mode — the trace consumes the record stream directly).
     pub fn new(cfg: CollectorConfig, trace: Arc<Mutex<Trace>>) -> Self {
+        MeasurementPeer::with_sink(cfg, trace)
+    }
+
+    /// Create a measurement peer delivering the record stream to an
+    /// arbitrary sink (streaming aggregators, fan-outs, or a trace).
+    pub fn with_sink(cfg: CollectorConfig, sink: SharedSink) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
         MeasurementPeer {
             cfg,
             conns: ConnSet::default(),
             routing: RoutingTable::new(),
-            trace,
+            sink,
             counters: CollectorCounters::default(),
             rng,
             pending: Vec::with_capacity(RECORD_FLUSH_CHUNK),
-            pending_bytes: 0,
+            pending_wire: Vec::with_capacity(RECORD_FLUSH_CHUNK),
+            next_sid: 0,
         }
     }
 
@@ -203,16 +216,15 @@ impl MeasurementPeer {
         self.counters
     }
 
-    /// Drain buffered message records into the shared trace (one lock
-    /// acquisition, bulk move).
+    /// Drain buffered message records into the sink (one lock
+    /// acquisition, one batch delivery).
     fn flush(&mut self) {
         if self.pending.is_empty() {
             return;
         }
-        let mut tr = self.trace.lock();
-        tr.messages.append(&mut self.pending);
-        tr.wire_bytes += self.pending_bytes;
-        self.pending_bytes = 0;
+        self.sink.lock().on_batch(&self.pending, &self.pending_wire);
+        self.pending.clear();
+        self.pending_wire.clear();
     }
 
     fn record_message(&mut self, sid: SessionId, at: SimTime, msg: &Message) {
@@ -232,7 +244,7 @@ impl MeasurementPeer {
             },
             Payload::Bye(_) => RecordedPayload::Bye,
         };
-        self.pending_bytes += encoded_len(msg) as u64;
+        self.pending_wire.push(encoded_len(msg) as u32);
         self.pending.push(MessageRecord {
             session: sid,
             guid: msg.guid,
@@ -248,14 +260,11 @@ impl MeasurementPeer {
 
     fn finalize(&mut self, node: NodeId, end: SimTime, by_probe: bool) {
         if let Some(conn) = self.conns.remove(node) {
-            let mut tr = self.trace.lock();
-            tr.messages.append(&mut self.pending);
-            tr.wire_bytes += self.pending_bytes;
-            self.pending_bytes = 0;
-            if let Some(rec) = tr.connections.get_mut(conn.sid.0 as usize) {
-                rec.end = Some(end);
-                rec.closed_by_probe = by_probe;
-            }
+            let mut sink = self.sink.lock();
+            sink.on_batch(&self.pending, &self.pending_wire);
+            self.pending.clear();
+            self.pending_wire.clear();
+            sink.on_close(conn.sid, end, by_probe);
             if by_probe {
                 self.counters.probe_closes += 1;
             }
@@ -374,20 +383,17 @@ impl Actor for MeasurementPeer {
                     }
                 };
                 let now = ctx.now();
-                let sid = {
-                    let mut tr = self.trace.lock();
-                    let sid = SessionId(tr.connections.len() as u64);
-                    tr.connections.push(ConnectionRecord {
-                        id: sid,
-                        addr,
-                        user_agent: parsed.user_agent,
-                        ultrapeer: parsed.ultrapeer,
-                        start: now,
-                        end: None,
-                        closed_by_probe: false,
-                    });
-                    sid
-                };
+                let sid = SessionId(self.next_sid);
+                self.next_sid += 1;
+                self.sink.lock().on_connect(ConnectionRecord {
+                    id: sid,
+                    addr,
+                    user_agent: parsed.user_agent,
+                    ultrapeer: parsed.ultrapeer,
+                    start: now,
+                    end: None,
+                    closed_by_probe: false,
+                });
                 self.conns.insert(
                     from,
                     Conn {

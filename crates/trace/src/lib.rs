@@ -9,7 +9,11 @@
 //!   without ever *originating* queries, applies the 15 s + 15 s idle-probe
 //!   policy, and logs every received message;
 //! * [`record`] — the trace record types (connections and messages);
-//! * [`store::Trace`] — in-memory trace with JSONL (de)serialization;
+//! * [`store::Trace`] — in-memory trace with JSONL (de)serialization,
+//!   backed by the columnar [`store::MessageColumns`];
+//! * [`sink`] — the streaming consumer API: the collector delivers its
+//!   record stream to any [`sink::TraceSink`], so campaigns can retain
+//!   the full trace, fold it into online aggregates, or both;
 //! * [`session`] — reconstruction of per-session views (the unit of
 //!   analysis in §4);
 //! * [`stats`] — Table 1-style overall trace characteristics.
@@ -20,11 +24,13 @@
 pub mod collector;
 pub mod record;
 pub mod session;
+pub mod sink;
 pub mod stats;
 pub mod store;
 
 pub use collector::{CollectorConfig, MeasurementPeer};
 pub use record::{ConnectionRecord, MessageRecord, RecordedPayload, SessionId};
-pub use session::{SessionView, Sessions};
+pub use session::{QueryObs, SessionView, Sessions};
+pub use sink::{Fanout, SharedSink, TraceSink};
 pub use stats::TraceStats;
-pub use store::Trace;
+pub use store::{MessageColumns, MsgKind, Trace};

@@ -1,7 +1,6 @@
 //! Overall trace characteristics — the Table 1 reproduction.
 
-use crate::record::RecordedPayload;
-use crate::store::Trace;
+use crate::store::{MsgKind, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Counters matching Table 1 of the paper.
@@ -37,19 +36,21 @@ impl TraceStats {
         for c in &trace.connections {
             last_ms = last_ms.max(c.end.unwrap_or(c.start).as_millis());
         }
-        for m in &trace.messages {
-            last_ms = last_ms.max(m.at.as_millis());
-            match &m.payload {
-                RecordedPayload::Query { .. } => {
+        // Columnar pass: only the at/kind/hops columns are touched.
+        let m = &trace.messages;
+        for i in 0..m.len() {
+            last_ms = last_ms.max(m.time_at(i).as_millis());
+            match m.kind_at(i) {
+                MsgKind::Query => {
                     s.query_messages += 1;
-                    if m.hops == 1 {
+                    if m.hops_at(i) == 1 {
                         s.hop1_queries += 1;
                     }
                 }
-                RecordedPayload::QueryHit { .. } => s.queryhit_messages += 1,
-                RecordedPayload::Ping => s.ping_messages += 1,
-                RecordedPayload::Pong { .. } => s.pong_messages += 1,
-                RecordedPayload::Bye => {}
+                MsgKind::QueryHit => s.queryhit_messages += 1,
+                MsgKind::Ping => s.ping_messages += 1,
+                MsgKind::Pong => s.pong_messages += 1,
+                MsgKind::Bye => {}
             }
         }
         s.trace_days = last_ms.div_ceil(24 * 3600 * 1000);
@@ -105,7 +106,7 @@ impl TraceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{ConnectionRecord, MessageRecord, SessionId};
+    use crate::record::{ConnectionRecord, MessageRecord, RecordedPayload, SessionId};
     use simnet::SimTime;
     use std::net::Ipv4Addr;
 

@@ -1,17 +1,341 @@
 //! In-memory trace store with JSONL (de)serialization.
+//!
+//! Messages live in [`MessageColumns`], a structure-of-arrays layout:
+//! parallel typed columns for session, GUID, arrival time, hops, TTL,
+//! message kind, and wire length, with kind-specific payload side-tables
+//! (PONG, QUERY, QUERYHIT) instead of a per-record enum. Analysis passes
+//! touch only the columns they need — the filter never drags GUID bytes
+//! through the cache, the popularity pass never reads hop counts — and a
+//! row costs ~39 bytes of column data plus at most 8 bytes of side-table
+//! entry, versus 48 bytes for the old row-oriented `Vec<MessageRecord>`.
+//!
+//! The public API stays record-shaped: [`MessageColumns::push`] takes a
+//! [`MessageRecord`], iteration yields [`MessageRecord`]s by value
+//! (everything in a record is `Copy`), and serde round-trips through the
+//! record form so the JSONL interchange format is byte-identical to the
+//! row-oriented store.
 
-use crate::record::{ConnectionRecord, MessageRecord, SessionId};
+use crate::record::{ConnectionRecord, MessageRecord, RecordedPayload, SessionId};
 use crate::stats::TraceStats;
+use gnutella::{Guid, QueryId};
 use serde::{Deserialize, Serialize};
+use simnet::SimTime;
 use std::io::{self, BufRead, Write};
+use std::net::Ipv4Addr;
 
-/// A complete measurement trace: connection records plus message records.
+/// Discriminant column value: which payload a row carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// PING keepalive.
+    Ping = 0,
+    /// PONG advertisement (side table: address + shared files).
+    Pong = 1,
+    /// QUERY (side table: interned text + SHA1 flag).
+    Query = 2,
+    /// QUERYHIT (side table: responder address + result count).
+    QueryHit = 3,
+    /// BYE.
+    Bye = 4,
+}
+
+/// PONG side-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PongCell {
+    addr: Ipv4Addr,
+    shared_files: u32,
+}
+
+/// QUERY side-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueryCell {
+    text: QueryId,
+    sha1: bool,
+}
+
+/// QUERYHIT side-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HitCell {
+    addr: Ipv4Addr,
+    results: u8,
+}
+
+/// Columnar (structure-of-arrays) message store.
+///
+/// Rows are addressed by insertion index; `arg` points into the
+/// kind-specific side table for PONG/QUERY/QUERYHIT rows and is unused
+/// for PING/BYE. The `wire_len` column is in-memory provenance (like
+/// [`Trace::wire_bytes`]): it does not survive the JSONL interchange
+/// format and does not participate in equality.
+#[derive(Debug, Clone, Default)]
+pub struct MessageColumns {
+    session: Vec<u32>,
+    guid: Vec<Guid>,
+    at: Vec<SimTime>,
+    hops: Vec<u8>,
+    ttl: Vec<u8>,
+    kind: Vec<MsgKind>,
+    arg: Vec<u32>,
+    wire_len: Vec<u32>,
+    pong: Vec<PongCell>,
+    query: Vec<QueryCell>,
+    hit: Vec<HitCell>,
+}
+
+impl PartialEq for MessageColumns {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except `wire_len`, which is provenance, not data.
+        self.session == other.session
+            && self.guid == other.guid
+            && self.at == other.at
+            && self.hops == other.hops
+            && self.ttl == other.ttl
+            && self.kind == other.kind
+            && self.arg == other.arg
+            && self.pong == other.pong
+            && self.query == other.query
+            && self.hit == other.hit
+    }
+}
+
+impl MessageColumns {
+    /// Empty store.
+    pub fn new() -> Self {
+        MessageColumns::default()
+    }
+
+    /// Empty store with the main columns pre-reserved for `n` rows.
+    /// Side tables grow on demand (their split between kinds is not
+    /// known up front).
+    pub fn with_capacity(n: usize) -> Self {
+        MessageColumns {
+            session: Vec::with_capacity(n),
+            guid: Vec::with_capacity(n),
+            at: Vec::with_capacity(n),
+            hops: Vec::with_capacity(n),
+            ttl: Vec::with_capacity(n),
+            kind: Vec::with_capacity(n),
+            arg: Vec::with_capacity(n),
+            wire_len: Vec::with_capacity(n),
+            ..MessageColumns::default()
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    /// True when no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.at.is_empty()
+    }
+
+    /// Append a record with no wire-length accounting.
+    pub fn push(&mut self, rec: MessageRecord) {
+        self.push_with_wire(rec, 0);
+    }
+
+    /// Append a record, keeping `wire` bytes of provenance in the
+    /// `wire_len` column.
+    pub fn push_with_wire(&mut self, rec: MessageRecord, wire: u32) {
+        let arg = match rec.payload {
+            RecordedPayload::Ping | RecordedPayload::Bye => 0,
+            RecordedPayload::Pong { addr, shared_files } => {
+                self.pong.push(PongCell { addr, shared_files });
+                (self.pong.len() - 1) as u32
+            }
+            RecordedPayload::Query { text, sha1 } => {
+                self.query.push(QueryCell { text, sha1 });
+                (self.query.len() - 1) as u32
+            }
+            RecordedPayload::QueryHit { addr, results } => {
+                self.hit.push(HitCell { addr, results });
+                (self.hit.len() - 1) as u32
+            }
+        };
+        self.session
+            .push(u32::try_from(rec.session.0).expect("session id exceeds u32 range"));
+        self.guid.push(rec.guid);
+        self.at.push(rec.at);
+        self.hops.push(rec.hops);
+        self.ttl.push(rec.ttl);
+        self.kind.push(kind_of(&rec.payload));
+        self.arg.push(arg);
+        self.wire_len.push(wire);
+    }
+
+    /// Reconstruct the record at row `i` (panics when out of bounds).
+    pub fn get(&self, i: usize) -> MessageRecord {
+        let payload = match self.kind[i] {
+            MsgKind::Ping => RecordedPayload::Ping,
+            MsgKind::Bye => RecordedPayload::Bye,
+            MsgKind::Pong => {
+                let c = self.pong[self.arg[i] as usize];
+                RecordedPayload::Pong {
+                    addr: c.addr,
+                    shared_files: c.shared_files,
+                }
+            }
+            MsgKind::Query => {
+                let c = self.query[self.arg[i] as usize];
+                RecordedPayload::Query {
+                    text: c.text,
+                    sha1: c.sha1,
+                }
+            }
+            MsgKind::QueryHit => {
+                let c = self.hit[self.arg[i] as usize];
+                RecordedPayload::QueryHit {
+                    addr: c.addr,
+                    results: c.results,
+                }
+            }
+        };
+        MessageRecord {
+            session: SessionId(u64::from(self.session[i])),
+            guid: self.guid[i],
+            at: self.at[i],
+            hops: self.hops[i],
+            ttl: self.ttl[i],
+            payload,
+        }
+    }
+
+    /// Wire length recorded for row `i` (0 when the producer did not
+    /// account wire bytes).
+    pub fn wire_len(&self, i: usize) -> u32 {
+        self.wire_len[i]
+    }
+
+    /// Arrival-time column value at row `i`.
+    pub fn time_at(&self, i: usize) -> SimTime {
+        self.at[i]
+    }
+
+    /// Kind column value at row `i`.
+    pub fn kind_at(&self, i: usize) -> MsgKind {
+        self.kind[i]
+    }
+
+    /// Hops column value at row `i`.
+    pub fn hops_at(&self, i: usize) -> u8 {
+        self.hops[i]
+    }
+
+    /// Iterate rows as reconstructed records.
+    pub fn iter(&self) -> impl Iterator<Item = MessageRecord> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Visit every hop-1 QUERY row without materializing records — the
+    /// session-reconstruction and streaming fast path (touches only the
+    /// session/at/hops/kind/arg columns plus the QUERY side table).
+    pub fn for_each_one_hop_query(&self, mut f: impl FnMut(SessionId, SimTime, QueryId, bool)) {
+        for i in 0..self.len() {
+            if self.hops[i] == 1 && self.kind[i] == MsgKind::Query {
+                let c = self.query[self.arg[i] as usize];
+                f(
+                    SessionId(u64::from(self.session[i])),
+                    self.at[i],
+                    c.text,
+                    c.sha1,
+                );
+            }
+        }
+    }
+
+    /// Resident bytes of the column data, counted at capacity (what the
+    /// allocator actually holds, not just what is filled).
+    pub fn mem_bytes(&self) -> u64 {
+        fn cap<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        cap(&self.session)
+            + cap(&self.guid)
+            + cap(&self.at)
+            + cap(&self.hops)
+            + cap(&self.ttl)
+            + cap(&self.kind)
+            + cap(&self.arg)
+            + cap(&self.wire_len)
+            + cap(&self.pong)
+            + cap(&self.query)
+            + cap(&self.hit)
+    }
+}
+
+fn kind_of(p: &RecordedPayload) -> MsgKind {
+    match p {
+        RecordedPayload::Ping => MsgKind::Ping,
+        RecordedPayload::Pong { .. } => MsgKind::Pong,
+        RecordedPayload::Query { .. } => MsgKind::Query,
+        RecordedPayload::QueryHit { .. } => MsgKind::QueryHit,
+        RecordedPayload::Bye => MsgKind::Bye,
+    }
+}
+
+impl<'a> IntoIterator for &'a MessageColumns {
+    type Item = MessageRecord;
+    type IntoIter = Box<dyn Iterator<Item = MessageRecord> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl FromIterator<MessageRecord> for MessageColumns {
+    fn from_iter<I: IntoIterator<Item = MessageRecord>>(iter: I) -> Self {
+        let mut cols = MessageColumns::new();
+        for rec in iter {
+            cols.push(rec);
+        }
+        cols
+    }
+}
+
+impl Extend<MessageRecord> for MessageColumns {
+    fn extend<I: IntoIterator<Item = MessageRecord>>(&mut self, iter: I) {
+        for rec in iter {
+            self.push(rec);
+        }
+    }
+}
+
+/// Serializes as the sequence of reconstructed records, so the serde form
+/// (and with it any JSON representation) is identical to the old
+/// `Vec<MessageRecord>` layout.
+impl Serialize for MessageColumns {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(self.iter().map(|r| r.to_value()).collect())
+    }
+}
+
+impl Deserialize for MessageColumns {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Array(items) => {
+                let mut cols = MessageColumns::with_capacity(items.len());
+                for item in items {
+                    cols.push(MessageRecord::from_value(item)?);
+                }
+                Ok(cols)
+            }
+            other => Err(serde::Error::msg(format!(
+                "expected array of message records, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+/// A complete measurement trace: connection records plus message columns.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     /// One record per direct connection, indexed by [`SessionId`].
     pub connections: Vec<ConnectionRecord>,
-    /// All received messages, in arrival order.
-    pub messages: Vec<MessageRecord>,
+    /// All received messages, in arrival order (columnar layout).
+    pub messages: MessageColumns,
     /// Total wire size of the recorded messages, in bytes — charged by the
     /// collector via `gnutella::wire::encoded_len` regardless of whether
     /// the frames traveled typed or byte-encoded. An in-memory provenance
@@ -22,9 +346,9 @@ pub struct Trace {
 }
 
 /// Equality compares the recorded data — connections and messages — only.
-/// `wire_bytes` is in-memory provenance that does not survive the JSONL
-/// interchange format, so it does not participate: a deserialized trace
-/// equals the one that wrote it.
+/// `wire_bytes` (and the per-row `wire_len` column) is in-memory
+/// provenance that does not survive the JSONL interchange format, so it
+/// does not participate: a deserialized trace equals the one that wrote it.
 impl PartialEq for Trace {
     fn eq(&self, other: &Self) -> bool {
         self.connections == other.connections && self.messages == other.messages
@@ -47,11 +371,11 @@ impl Trace {
 
     /// Empty trace with pre-reserved capacity, for collectors that can
     /// estimate campaign volume up front (avoids repeated reallocation of
-    /// the hot message vector during a run).
+    /// the hot message columns during a run).
     pub fn with_capacity(connections: usize, messages: usize) -> Self {
         Trace {
             connections: Vec::with_capacity(connections),
-            messages: Vec::with_capacity(messages),
+            messages: MessageColumns::with_capacity(messages),
             wire_bytes: 0,
         }
     }
@@ -66,14 +390,28 @@ impl Trace {
         TraceStats::of(self)
     }
 
+    /// Resident bytes held by this trace: column capacities plus the
+    /// connection records and their heap strings. This is the
+    /// `peak_trace_bytes` a retain-mode campaign reports — the trace only
+    /// grows, so its final size is its peak.
+    pub fn mem_bytes(&self) -> u64 {
+        let conns = (self.connections.capacity() * std::mem::size_of::<ConnectionRecord>()) as u64
+            + self
+                .connections
+                .iter()
+                .map(|c| c.user_agent.capacity() as u64)
+                .sum::<u64>();
+        conns + self.messages.mem_bytes()
+    }
+
     /// Serialize as JSON lines: connection records first, then messages.
     pub fn write_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
         for c in &self.connections {
             serde_json::to_writer(&mut w, &TraceLine::Conn(c.clone()))?;
             w.write_all(b"\n")?;
         }
-        for m in &self.messages {
-            serde_json::to_writer(&mut w, &TraceLine::Msg(m.clone()))?;
+        for m in self.messages.iter() {
+            serde_json::to_writer(&mut w, &TraceLine::Msg(m))?;
             w.write_all(b"\n")?;
         }
         Ok(())
@@ -85,7 +423,7 @@ impl Trace {
     /// message order is preserved.
     pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Trace> {
         let mut connections: Vec<Option<ConnectionRecord>> = Vec::new();
-        let mut messages = Vec::new();
+        let mut messages = MessageColumns::new();
         for line in r.lines() {
             let line = line?;
             if line.trim().is_empty() {
@@ -169,6 +507,202 @@ mod tests {
         t.write_jsonl(&mut buf).unwrap();
         let back = Trace::read_jsonl(buf.as_slice()).unwrap();
         assert_eq!(t, back);
+    }
+
+    /// The JSONL interchange format is frozen: this golden output was
+    /// captured from the row-oriented (pre-columnar) store and must stay
+    /// byte-identical so old traces and external readers keep working.
+    #[test]
+    fn jsonl_matches_row_store_golden() {
+        let mut t = Trace::new();
+        t.connections.push(ConnectionRecord {
+            id: SessionId(0),
+            addr: Ipv4Addr::new(24, 10, 20, 30),
+            user_agent: "Mutella/0.4.5".into(),
+            ultrapeer: true,
+            start: SimTime::from_millis(1_500),
+            end: Some(SimTime::from_millis(400_000)),
+            closed_by_probe: true,
+        });
+        t.connections.push(ConnectionRecord {
+            id: SessionId(1),
+            addr: Ipv4Addr::new(82, 1, 2, 3),
+            user_agent: "LimeWire/4.2".into(),
+            ultrapeer: false,
+            start: SimTime::from_millis(2_250),
+            end: None,
+            closed_by_probe: false,
+        });
+        let g = test_guid();
+        let mk = |at: u64, hops: u8, ttl: u8, session: u64, payload| MessageRecord {
+            session: SessionId(session),
+            guid: g,
+            at: SimTime::from_millis(at),
+            hops,
+            ttl,
+            payload,
+        };
+        t.messages.push(mk(3_000, 1, 6, 0, RecordedPayload::Ping));
+        t.messages.push(mk(
+            4_100,
+            2,
+            5,
+            0,
+            RecordedPayload::Pong {
+                addr: Ipv4Addr::new(10, 0, 0, 9),
+                shared_files: 340,
+            },
+        ));
+        t.messages.push(mk(
+            5_000,
+            1,
+            7,
+            1,
+            RecordedPayload::Query {
+                text: "metallica one".into(),
+                sha1: true,
+            },
+        ));
+        t.messages.push(mk(
+            6_000,
+            3,
+            4,
+            1,
+            RecordedPayload::QueryHit {
+                addr: Ipv4Addr::new(24, 5, 6, 7),
+                results: 12,
+            },
+        ));
+        t.messages.push(mk(7_000, 1, 1, 0, RecordedPayload::Bye));
+
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let golden = concat!(
+            r#"{"t":"conn","id":0,"addr":"24.10.20.30","user_agent":"Mutella/0.4.5","ultrapeer":true,"start":1500,"end":400000,"closed_by_probe":true}"#,
+            "\n",
+            r#"{"t":"conn","id":1,"addr":"82.1.2.3","user_agent":"LimeWire/4.2","ultrapeer":false,"start":2250,"end":null,"closed_by_probe":false}"#,
+            "\n",
+            r#"{"t":"msg","session":0,"guid":[7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7],"at":3000,"hops":1,"ttl":6,"payload":"Ping"}"#,
+            "\n",
+            r#"{"t":"msg","session":0,"guid":[7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7],"at":4100,"hops":2,"ttl":5,"payload":{"Pong":{"addr":"10.0.0.9","shared_files":340}}}"#,
+            "\n",
+            r#"{"t":"msg","session":1,"guid":[7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7],"at":5000,"hops":1,"ttl":7,"payload":{"Query":{"text":"metallica one","sha1":true}}}"#,
+            "\n",
+            r#"{"t":"msg","session":1,"guid":[7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7],"at":6000,"hops":3,"ttl":4,"payload":{"QueryHit":{"addr":"24.5.6.7","results":12}}}"#,
+            "\n",
+            r#"{"t":"msg","session":0,"guid":[7,7,7,7,7,7,7,7,7,7,7,7,7,7,7,7],"at":7000,"hops":1,"ttl":1,"payload":"Bye"}"#,
+            "\n",
+        );
+        assert_eq!(String::from_utf8(buf).unwrap(), golden);
+    }
+
+    #[test]
+    fn columns_round_trip_every_kind() {
+        let g = test_guid();
+        let records = vec![
+            MessageRecord {
+                session: SessionId(3),
+                guid: g,
+                at: SimTime::from_millis(10),
+                hops: 1,
+                ttl: 6,
+                payload: RecordedPayload::Ping,
+            },
+            MessageRecord {
+                session: SessionId(1),
+                guid: g,
+                at: SimTime::from_millis(20),
+                hops: 2,
+                ttl: 5,
+                payload: RecordedPayload::Pong {
+                    addr: Ipv4Addr::new(1, 2, 3, 4),
+                    shared_files: 99,
+                },
+            },
+            MessageRecord {
+                session: SessionId(0),
+                guid: g,
+                at: SimTime::from_millis(30),
+                hops: 1,
+                ttl: 7,
+                payload: RecordedPayload::Query {
+                    text: "q".into(),
+                    sha1: true,
+                },
+            },
+            MessageRecord {
+                session: SessionId(2),
+                guid: g,
+                at: SimTime::from_millis(40),
+                hops: 4,
+                ttl: 3,
+                payload: RecordedPayload::QueryHit {
+                    addr: Ipv4Addr::new(9, 8, 7, 6),
+                    results: 200,
+                },
+            },
+            MessageRecord {
+                session: SessionId(0),
+                guid: g,
+                at: SimTime::from_millis(50),
+                hops: 1,
+                ttl: 1,
+                payload: RecordedPayload::Bye,
+            },
+        ];
+        let cols: MessageColumns = records.iter().copied().collect();
+        assert_eq!(cols.len(), records.len());
+        let back: Vec<MessageRecord> = cols.iter().collect();
+        assert_eq!(back, records);
+        // Random access agrees with iteration.
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(cols.get(i), *r);
+        }
+    }
+
+    #[test]
+    fn wire_len_excluded_from_equality() {
+        let rec = MessageRecord {
+            session: SessionId(0),
+            guid: test_guid(),
+            at: SimTime::from_millis(5),
+            hops: 1,
+            ttl: 6,
+            payload: RecordedPayload::Ping,
+        };
+        let mut a = MessageColumns::new();
+        a.push_with_wire(rec, 23);
+        let mut b = MessageColumns::new();
+        b.push(rec);
+        assert_eq!(a, b);
+        assert_eq!(a.wire_len(0), 23);
+        assert_eq!(b.wire_len(0), 0);
+    }
+
+    #[test]
+    fn one_hop_query_visitor_matches_filtered_iteration() {
+        let t = sample_trace();
+        let mut seen = Vec::new();
+        t.messages
+            .for_each_one_hop_query(|sid, at, text, sha1| seen.push((sid, at, text, sha1)));
+        let expected: Vec<_> = t
+            .messages
+            .iter()
+            .filter(|m| m.is_one_hop_query())
+            .map(|m| match m.payload {
+                RecordedPayload::Query { text, sha1 } => (m.session, m.at, text, sha1),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn mem_bytes_counts_columns_and_strings() {
+        let t = sample_trace();
+        assert!(t.mem_bytes() > 0);
+        let empty = Trace::new();
+        assert_eq!(empty.messages.mem_bytes(), 0);
     }
 
     #[test]
