@@ -7,6 +7,7 @@
 //! paper's 40-day trace, at a configurable scale.
 
 use crate::arrivals::ArrivalProcess;
+use crate::hybrid::{HybridShard, ShardOutcome};
 use crate::peer::{ClientPeer, PeerEnv, RelayRates};
 use crate::session::SessionPlanner;
 use crate::vocabulary::{Vocabulary, VocabularyConfig};
@@ -14,11 +15,28 @@ use geoip::{AddressAllocator, GeoDb};
 use gnutella::net::{NetMsg, Transport};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration, SimStats, SimTime, Simulator};
+use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
 use stats::rng::SeedSequence;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
 use trace::{CollectorConfig, MeasurementPeer, SharedSink, Trace};
+
+/// Simulation fidelity of a campaign.
+///
+/// `Full` runs every peer as a simulator actor exchanging protocol
+/// messages; `Hybrid` keeps full fidelity for everything the measurement
+/// peer can observe and replaces the rest with flow-level statistical
+/// emission (see [`crate::hybrid`]). The observed trace is bit-identical
+/// between the two — `Hybrid` only removes work the trace can't see.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Fidelity {
+    /// Full per-message actor simulation.
+    #[default]
+    Full,
+    /// Hybrid flow-level simulation (identical observed trace).
+    Hybrid,
+}
 
 /// Configuration of a population run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -42,6 +60,10 @@ pub struct PopulationConfig {
     /// byte-encoded through the wire codec. Traces are identical either
     /// way; `Bytes` exists for conformance and benchmarking.
     pub transport: Transport,
+    /// Simulation fidelity; `Hybrid` produces the same observed trace at
+    /// a fraction of the per-message cost.
+    #[serde(default)]
+    pub fidelity: Fidelity,
 }
 
 impl Default for PopulationConfig {
@@ -55,6 +77,7 @@ impl Default for PopulationConfig {
             forward_fanout: 4,
             max_connections: 200,
             transport: Transport::Typed,
+            fidelity: Fidelity::Full,
         }
     }
 }
@@ -95,16 +118,27 @@ pub struct CampaignStats {
     pub timers_fired: u64,
     /// Nodes spawned over the lifetime of the run.
     pub spawned: u64,
+    /// Messages a hybrid-fidelity run elided entirely (zero for full
+    /// fidelity). `elided / (elided + modeled)` is the fraction of
+    /// message work the far-cloud model avoided.
+    #[serde(default)]
+    pub hybrid_elided_msgs: u64,
+    /// Peer→collector messages a hybrid-fidelity run still modeled as
+    /// events (zero for full fidelity).
+    #[serde(default)]
+    pub hybrid_modeled_msgs: u64,
 }
 
 impl CampaignStats {
-    fn absorb(&mut self, s: &SimStats) {
-        self.events_popped += s.events_popped;
-        self.peak_queue_len = self.peak_queue_len.max(s.peak_queue_len);
-        self.delivered += s.delivered;
-        self.dropped += s.dropped;
-        self.timers_fired += s.timers_fired;
-        self.spawned += s.spawned;
+    fn absorb(&mut self, s: &ShardOutcome) {
+        self.events_popped += s.sim.events_popped;
+        self.peak_queue_len = self.peak_queue_len.max(s.sim.peak_queue_len);
+        self.delivered += s.sim.delivered;
+        self.dropped += s.sim.dropped;
+        self.timers_fired += s.sim.timers_fired;
+        self.spawned += s.sim.spawned;
+        self.hybrid_elided_msgs += s.elided_msgs;
+        self.hybrid_modeled_msgs += s.modeled_msgs;
     }
 }
 
@@ -184,17 +218,59 @@ fn build_vocabulary(cfg: &PopulationConfig, seq: &SeedSequence) -> Vocabulary {
     )
 }
 
-/// Run one simulator campaign at `sessions_per_day`, deriving every
-/// stream from `seq`. [`run_population`] is exactly this at full rate
-/// with the root sequence; shards run it at `rate / n` with per-shard
-/// derived sequences.
-fn run_shard(
+/// A resumable shard simulation: either fidelity, runnable in epochs so
+/// the work-stealing pool can interleave many shards on few threads.
+enum ShardEngine {
+    Full { sim: Box<Simulator<NetMsg>> },
+    Hybrid(Box<HybridShard>),
+}
+
+impl ShardEngine {
+    /// Advance the shard's virtual clock to `until` (inclusive).
+    fn run_until(&mut self, until: SimTime) {
+        match self {
+            ShardEngine::Full { sim } => sim.run_until(until),
+            ShardEngine::Hybrid(shard) => shard.run_until(until),
+        }
+    }
+
+    /// Finish the shard: flush its sink and report statistics.
+    fn finish(self) -> ShardOutcome {
+        match self {
+            ShardEngine::Full { sim } => {
+                let stats = sim.stats();
+                // Dropping the simulator drops the measurement peer, which
+                // flushes the collector's pending record buffer into the
+                // sink — after this the sink has seen the complete stream.
+                drop(sim);
+                ShardOutcome {
+                    sim: stats,
+                    elided_msgs: 0,
+                    modeled_msgs: 0,
+                }
+            }
+            ShardEngine::Hybrid(shard) => shard.finish(),
+        }
+    }
+}
+
+/// Build one shard campaign at `sessions_per_day`, deriving every stream
+/// from `seq`. Returns the engine and its horizon (campaign end plus the
+/// grace period in which in-flight sessions and probe-close chains of
+/// vanished peers settle).
+fn build_shard(
     cfg: &PopulationConfig,
     vocab: Arc<Vocabulary>,
     seq: SeedSequence,
     sessions_per_day: f64,
     sink: SharedSink,
-) -> SimStats {
+) -> (ShardEngine, SimTime) {
+    let end = SimTime::from_secs_f64(cfg.days * 86_400.0);
+    let horizon = end + SimDuration::from_hours(2);
+    if cfg.fidelity == Fidelity::Hybrid {
+        let shard = HybridShard::new(cfg, vocab, seq, sessions_per_day, sink);
+        return (ShardEngine::Hybrid(Box::new(shard)), horizon);
+    }
     let planner = SessionPlanner::paper_default(vocab.clone());
     let db = GeoDb::synthetic();
     let alloc = Arc::new(AddressAllocator::new(&db));
@@ -212,8 +288,10 @@ fn run_shard(
     // driver schedules an hour of arrivals at once) plus a handful of
     // pending timers and in-flight frames per live connection.
     let events_capacity = (sessions_per_day / 24.0) as usize + cfg.max_connections * 8 + 256;
-    let mut sim: Simulator<NetMsg> =
-        Simulator::with_capacity(seq.derive_seed("engine"), events_capacity);
+    let mut sim: Box<Simulator<NetMsg>> = Box::new(Simulator::with_capacity(
+        seq.derive_seed("engine"),
+        events_capacity,
+    ));
     let collector_cfg = CollectorConfig {
         max_connections: cfg.max_connections,
         forward_fanout: cfg.forward_fanout,
@@ -223,7 +301,6 @@ fn run_shard(
     };
     let server = sim.add_node(Box::new(MeasurementPeer::with_sink(collector_cfg, sink)));
 
-    let end = SimTime::from_secs_f64(cfg.days * 86_400.0);
     let driver = PopulationDriver {
         server,
         planner,
@@ -235,17 +312,23 @@ fn run_shard(
         rng: seq.rng("arrivals"),
     };
     sim.add_node(Box::new(driver));
+    (ShardEngine::Full { sim }, horizon)
+}
 
-    // Run to the end plus a grace period so in-flight sessions (and the
-    // probe-close chains of vanished peers) settle.
-    sim.run_until(end + SimDuration::from_hours(2));
-    let stats = sim.stats();
-
-    // Dropping the simulator drops the measurement peer, which flushes the
-    // collector's pending record buffer into the sink — after this the
-    // sink has seen the complete stream.
-    drop(sim);
-    stats
+/// Run one simulator campaign at `sessions_per_day`, deriving every
+/// stream from `seq`. [`run_population`] is exactly this at full rate
+/// with the root sequence; shards run it at `rate / n` with per-shard
+/// derived sequences.
+fn run_shard(
+    cfg: &PopulationConfig,
+    vocab: Arc<Vocabulary>,
+    seq: SeedSequence,
+    sessions_per_day: f64,
+    sink: SharedSink,
+) -> ShardOutcome {
+    let (mut engine, horizon) = build_shard(cfg, vocab, seq, sessions_per_day, sink);
+    engine.run_until(horizon);
+    engine.finish()
 }
 
 /// Pre-reservation estimate for a retained trace: expected connections
@@ -287,9 +370,9 @@ pub fn run_population_with_stats(cfg: &PopulationConfig) -> (Trace, CampaignStat
 pub fn run_population_into(cfg: &PopulationConfig, sink: SharedSink) -> CampaignStats {
     let seq = SeedSequence::new(cfg.seed);
     let vocab = Arc::new(build_vocabulary(cfg, &seq));
-    let sim = run_shard(cfg, vocab, seq, cfg.sessions_per_day, sink);
+    let outcome = run_shard(cfg, vocab, seq, cfg.sessions_per_day, sink);
     let mut stats = CampaignStats::default();
-    stats.absorb(&sim);
+    stats.absorb(&outcome);
     stats
 }
 
@@ -309,14 +392,31 @@ pub fn shard_worker_threads(n_shards: usize, force_threads: bool) -> usize {
     }
 }
 
-/// Run `n_shards` logical shards on a clamped worker pool, delivering
-/// each shard's record stream to the matching sink in `sinks`.
+/// Number of shared virtual-clock epochs the work-stealing scheduler
+/// splits a sharded campaign into. More epochs mean finer-grained load
+/// balancing (a shard that runs hot in one epoch can be stolen in the
+/// next) at the cost of two barrier crossings per epoch; 16 keeps barrier
+/// overhead negligible against multi-second shard epochs.
+const SHARD_EPOCHS: u64 = 16;
+
+/// Run `n_shards` logical shards on a work-stealing worker pool,
+/// delivering each shard's record stream to the matching sink in `sinks`.
+///
+/// Shards can vastly outnumber OS threads, so instead of
+/// thread-per-shard each shard is a *task*: the campaign horizon is cut
+/// into [`SHARD_EPOCHS`] shared virtual-clock epochs, every worker seeds
+/// its own deque with its round-robin share of shard tasks, and workers
+/// that drain their deque steal from the back of a victim's. A barrier
+/// aligns all workers at each epoch boundary, bounding how far any
+/// shard's virtual clock can run ahead of the others.
 ///
 /// Shard seeds and rates depend only on `cfg` and `n_shards`, never on
-/// the worker count, so results are bit-identical whatever the pool size.
-/// Each sink sees a complete, well-ordered stream for its shard; merging
-/// across shards is the caller's concern (a retained-trace caller uses
-/// the canonical `(time, shard)` merge, a streaming caller merges its
+/// the worker count or steal order — each shard is an independent
+/// simulation whose event order is internally determined — so results
+/// are bit-identical whatever the pool size or interleaving. Each sink
+/// sees a complete, well-ordered stream for its shard; merging across
+/// shards is the caller's concern (a retained-trace caller uses the
+/// canonical `(time, shard)` merge, a streaming caller merges its
 /// per-shard aggregates).
 ///
 /// # Panics
@@ -344,36 +444,71 @@ pub fn run_population_sharded_into(
     let seq = SeedSequence::new(cfg.seed);
     let vocab = Arc::new(build_vocabulary(cfg, &seq));
     let rate = cfg.sessions_per_day / n_shards as f64;
-    let shard_cfgs: Vec<PopulationConfig> = (0..n_shards)
+
+    // Build every shard engine up front (cheap: no events run yet). The
+    // per-shard admission cap splits the aggregate cap, earlier shards
+    // taking the remainder.
+    let mut horizon = SimTime::ZERO;
+    let engines: Vec<parking_lot::Mutex<Option<ShardEngine>>> = (0..n_shards)
         .map(|i| {
             let mut shard_cfg = cfg.clone();
             shard_cfg.max_connections =
                 cfg.max_connections / n_shards + usize::from(i < cfg.max_connections % n_shards);
-            shard_cfg
+            let (engine, h) = build_shard(
+                &shard_cfg,
+                Arc::clone(&vocab),
+                seq.child_indexed("shard", i as u64),
+                rate,
+                Arc::clone(&sinks[i]),
+            );
+            horizon = h;
+            parking_lot::Mutex::new(Some(engine))
         })
         .collect();
 
-    let threads = shard_worker_threads(n_shards, force_threads);
-    let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<SimStats>>> = (0..n_shards)
-        .map(|_| parking_lot::Mutex::new(None))
+    // Epoch boundaries share one virtual clock across all shards; the
+    // last boundary is exactly the horizon.
+    let boundaries: Vec<SimTime> = (1..=SHARD_EPOCHS)
+        .map(|k| SimTime::from_millis(horizon.as_millis() * k / SHARD_EPOCHS))
         .collect();
+
+    let threads = shard_worker_threads(n_shards, force_threads);
+    let deques: Vec<parking_lot::Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|_| parking_lot::Mutex::new(VecDeque::new()))
+        .collect();
+    let barrier = Barrier::new(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            handles.push(scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n_shards {
-                    break;
+        for w in 0..threads {
+            let engines = &engines;
+            let deques = &deques;
+            let barrier = &barrier;
+            let boundaries = &boundaries;
+            handles.push(scope.spawn(move || {
+                for &until in boundaries {
+                    // Refill the local deque with this worker's share of
+                    // shard tasks, then wait for every worker to do the
+                    // same so stealing never races a refill.
+                    deques[w].lock().extend((w..n_shards).step_by(threads));
+                    barrier.wait();
+                    loop {
+                        let task = deques[w].lock().pop_front().or_else(|| {
+                            // Steal from the back of the first non-empty
+                            // victim: back-stealing takes the work the
+                            // owner would reach last, minimizing contention
+                            // on the deque front.
+                            (0..threads)
+                                .filter(|&v| v != w)
+                                .find_map(|v| deques[v].lock().pop_back())
+                        });
+                        let Some(i) = task else { break };
+                        // A shard index lives in exactly one deque per
+                        // epoch, so this lock is uncontended.
+                        let mut slot = engines[i].lock();
+                        slot.as_mut().expect("engine present").run_until(until);
+                    }
+                    barrier.wait();
                 }
-                let stats = run_shard(
-                    &shard_cfgs[i],
-                    Arc::clone(&vocab),
-                    seq.child_indexed("shard", i as u64),
-                    rate,
-                    Arc::clone(&sinks[i]),
-                );
-                *results[i].lock() = Some(stats);
             }));
         }
         for h in handles {
@@ -382,9 +517,9 @@ pub fn run_population_sharded_into(
     });
 
     let mut stats = CampaignStats::default();
-    for cell in &results {
-        let s = cell.lock().take().expect("shard did not report stats");
-        stats.absorb(&s);
+    for cell in &engines {
+        let engine = cell.lock().take().expect("engine present");
+        stats.absorb(&engine.finish());
     }
     stats
 }

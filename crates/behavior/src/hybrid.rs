@@ -1,0 +1,855 @@
+//! Hybrid-fidelity campaign execution: full fidelity inside the
+//! observation horizon, flow-level statistics beyond it.
+//!
+//! The paper's measurement peer only ever observes its ≤200 one-hop
+//! neighbors; everything beyond that horizon reaches the trace only as
+//! the relay/background traffic those neighbors forward. Full-fidelity
+//! simulation nevertheless pays per-message actor dispatch, protocol
+//! message construction, handshake rendering/parsing, and GUID routing
+//! for every peer. [`HybridShard`] keeps the *observable* half — every
+//! message the collector records, every reply that provokes recorded
+//! traffic — and replaces the rest with direct statistical emission:
+//!
+//! * sessions are plain state (plan + RNG + [`SessionEmitter`]), not
+//!   actors; their traffic is drawn through [`crate::stream`] — the same
+//!   functions, in the same order, from the same per-session RNG streams
+//!   as [`crate::peer::ClientPeer`] — and lands in the trace as
+//!   [`MessageRecord`]s with analytic wire lengths, skipping
+//!   `gnutella::message::Message` construction and the codec entirely;
+//! * collector replies that no recorded message depends on (PONG answers
+//!   to pings, forwarded query copies to sessions that share no files,
+//!   reverse-routed hits, busy replies, probes to vanished peers) are
+//!   *elided*: their RNG draws and schedule keys are consumed for
+//!   ordering parity, but no event is created;
+//! * event ordering replays the engine's `(time, lane, key)` contract
+//!   (see [`simnet::EventQueue::push_keyed`]), so ties at the same
+//!   millisecond resolve exactly as the full simulation resolves them.
+//!
+//! The result is an observed trace that is **bit-identical** to full
+//! simulation — enforced by golden equivalence tests — at a fraction of
+//! the per-message cost, which is what makes `mega`-scale campaigns
+//! (millions of sessions/day) tractable.
+
+use crate::arrivals::ArrivalProcess;
+use crate::files::SharedFilesModel;
+use crate::peer::RelayRates;
+use crate::session::{SessionPlan, SessionPlanner};
+use crate::stream::{
+    draw_query_answer, draw_relay_hit, draw_relay_pong, draw_relay_query, EmissionKind,
+    SessionEmitter, ANSWER_FILE_NAME, RELAY_HIT_NAME_LEN,
+};
+use crate::vocabulary::Vocabulary;
+use geoip::{AddressAllocator, GeoDb};
+use gnutella::message::DEFAULT_TTL;
+use gnutella::peerlink::{IdleAction, IdleTracker, IDLE_PROBE_AFTER};
+use gnutella::Guid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{EventQueue, LatencyModel, SimDuration, SimStats, SimTime};
+use stats::rng::SeedSequence;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use trace::{
+    CollectorConfig, ConnectionRecord, MessageRecord, RecordedPayload, SessionId, SharedSink,
+};
+
+use crate::driver::PopulationConfig;
+
+/// Gnutella message header length on the wire.
+const WIRE_HEADER: u32 = 23;
+/// Wire length of a PING (header only).
+const WIRE_PING: u32 = WIRE_HEADER;
+/// Wire length of a PONG (header + 14-byte body).
+const WIRE_PONG: u32 = WIRE_HEADER + 14;
+/// Wire length of the closing BYE (`code` + `"shutting down"` + NUL).
+const WIRE_BYE: u32 = WIRE_HEADER + 2 + 13 + 1;
+/// Wire length of a QUERYHIT excluding result records
+/// (header + count/port/addr/speed + servent GUID).
+const WIRE_HIT_BASE: u32 = WIRE_HEADER + 11 + 16;
+/// Wire length of one relayed-hit result record
+/// (index/size + `fileNNNN.mp3` + terminators).
+const WIRE_RELAY_HIT_RESULT: u32 = 8 + RELAY_HIT_NAME_LEN as u32 + 2;
+/// Wire length of the single-result answer hit (`match.mp3`).
+const WIRE_ANSWER_HIT: u32 = WIRE_HIT_BASE + 8 + ANSWER_FILE_NAME.len() as u32 + 2;
+
+/// Wire length of a QUERY with the given text length and optional SHA1
+/// extension length (min_speed + text + NUL, + sha1 + NUL).
+fn wire_query(text_len: usize, sha1_len: Option<usize>) -> u32 {
+    WIRE_HEADER + 2 + text_len as u32 + 1 + sha1_len.map_or(0, |l| l as u32 + 1)
+}
+
+/// Collector node id within a shard (always spawned first).
+const COLLECTOR_LANE: u32 = 0;
+/// Driver node id within a shard (spawned second).
+const DRIVER_LANE: u32 = 1;
+/// First session node id.
+const FIRST_SESSION_NODE: u32 = 2;
+
+/// A fully drawn peer→collector message in flight.
+struct WireMsg {
+    guid: Guid,
+    hops: u8,
+    ttl: u8,
+    wire: u32,
+    payload: RecordedPayload,
+    /// Reverse-routing context: `Some(origin)` when this is an answer
+    /// hit reusing a forwarded query's GUID.
+    answer_origin: Option<u32>,
+}
+
+enum Body {
+    /// Driver hour tick: schedule the next hour of arrivals.
+    DriverHour,
+    /// Driver arrival timer: spawn one session.
+    Arrival,
+    /// A session's connect request reaches the collector.
+    ConnectArrive(u32),
+    /// The collector's accept reply reaches the session.
+    AcceptArrive(u32),
+    /// A session's emission timer fires (it sends its pending item).
+    PeerSend(u32),
+    /// A session's message reaches the collector.
+    MsgArrive(u32, WireMsg),
+    /// A session's TCP disconnect reaches the collector.
+    ConnClose(u32),
+    /// The collector's disconnect (probe close) reaches the session.
+    PeerGone(u32),
+    /// A forwarded query copy reaches a session that might answer it.
+    FwdQuery {
+        target: u32,
+        origin: u32,
+        guid: Guid,
+    },
+    /// The collector's probe PING reaches a (live) session.
+    ProbePing(u32),
+    /// The collector's idle-check timer for a connection fires.
+    IdleCheck(u32),
+}
+
+// Events live in the shared [`simnet::EventQueue`] timing wheel, keyed
+// by the engine's `(time, lane, key)` contract. `(lane, key)` pairs are
+// unique per instant by construction (every lane keys its events with a
+// private counter), so the wheel's `(time, lane, key, seq)` pop order
+// reduces to the same total order the full engine uses.
+
+/// One live session: the same state a [`crate::peer::ClientPeer`] actor
+/// would hold, minus the actor.
+struct Session {
+    rng: StdRng,
+    plan: SessionPlan,
+    addr: Ipv4Addr,
+    keepalive: SimDuration,
+    emitter: Option<SessionEmitter>,
+    pending: Option<EmissionKind>,
+    next_key: u64,
+}
+
+/// Outcome of one (full- or hybrid-fidelity) shard run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardOutcome {
+    /// Engine-level statistics (hybrid shards fill the same fields from
+    /// their event loop).
+    pub sim: SimStats,
+    /// Messages whose delivery the hybrid engine elided entirely.
+    pub elided_msgs: u64,
+    /// Peer→collector messages the hybrid engine modeled as events.
+    pub modeled_msgs: u64,
+}
+
+/// Local-record buffer size triggering a sink drain — matches the
+/// collector's chunking so the sink sees identical batch boundaries.
+const RECORD_FLUSH_CHUNK: usize = 8_192;
+
+/// A hybrid-fidelity shard: drop-in replacement for a full-fidelity
+/// `Simulator` campaign shard, producing a bit-identical observed trace.
+pub struct HybridShard {
+    queue: EventQueue<Body>,
+    /// One-event lookahead: popped past a `run_until` bound, replayed
+    /// first on the next call.
+    stashed: Option<(SimTime, Body)>,
+    end: SimTime,
+    horizon: SimTime,
+
+    // Driver state (lane 1).
+    arrivals: ArrivalProcess,
+    drng: StdRng,
+    pop_seq: SeedSequence,
+    spawned: u64,
+    dkey: u64,
+    next_node: u32,
+
+    // Shared environment.
+    planner: SessionPlanner,
+    vocab: Arc<Vocabulary>,
+    alloc: Arc<AddressAllocator>,
+    files: SharedFilesModel,
+    relay: RelayRates,
+    peer_latency: LatencyModel,
+
+    // Session table, indexed by `node - FIRST_SESSION_NODE`; `None` is a
+    // dead (or rejected) session.
+    sessions: Vec<Option<Box<Session>>>,
+
+    // Collector state (lane 0).
+    max_connections: usize,
+    forward_fanout: usize,
+    coll_latency: LatencyModel,
+    crng: StdRng,
+    ckey: u64,
+    next_sid: u64,
+    /// Open connections ordered by node id (monotone, so inserts append).
+    conns: Vec<(u32, SessionId, IdleTracker)>,
+    pending_records: Vec<MessageRecord>,
+    pending_wire: Vec<u32>,
+    sink: SharedSink,
+
+    // Statistics.
+    pops: u64,
+    delivered: u64,
+    dropped: u64,
+    timers_fired: u64,
+    elided: u64,
+    modeled: u64,
+}
+
+impl HybridShard {
+    /// Build a shard exactly as the full-fidelity `run_shard` would:
+    /// same seed derivations, same environment, same horizon.
+    pub fn new(
+        cfg: &PopulationConfig,
+        vocab: Arc<Vocabulary>,
+        seq: SeedSequence,
+        sessions_per_day: f64,
+        sink: SharedSink,
+    ) -> HybridShard {
+        let planner = SessionPlanner::paper_default(vocab.clone());
+        let db = GeoDb::synthetic();
+        let alloc = Arc::new(AddressAllocator::new(&db));
+        let files = planner.files;
+        let end = SimTime::from_secs_f64(cfg.days * 86_400.0);
+        let collector_defaults = CollectorConfig::default();
+        let mut shard = HybridShard {
+            queue: EventQueue::with_capacity(
+                (sessions_per_day / 24.0) as usize + cfg.max_connections * 8 + 256,
+            ),
+            stashed: None,
+            end,
+            horizon: end + SimDuration::from_hours(2),
+            arrivals: ArrivalProcess::new(sessions_per_day),
+            drng: seq.rng("arrivals"),
+            pop_seq: seq.child("population"),
+            spawned: 0,
+            dkey: 0,
+            next_node: FIRST_SESSION_NODE,
+            planner,
+            vocab,
+            alloc,
+            files,
+            relay: cfg.relay,
+            peer_latency: LatencyModel::intra_continent(),
+            sessions: Vec::new(),
+            max_connections: cfg.max_connections,
+            forward_fanout: cfg.forward_fanout,
+            coll_latency: collector_defaults.latency,
+            crng: StdRng::seed_from_u64(seq.derive_seed("collector")),
+            ckey: 0,
+            next_sid: 0,
+            conns: Vec::new(),
+            pending_records: Vec::with_capacity(RECORD_FLUSH_CHUNK),
+            pending_wire: Vec::with_capacity(RECORD_FLUSH_CHUNK),
+            sink,
+            pops: 0,
+            delivered: 0,
+            dropped: 0,
+            timers_fired: 0,
+            elided: 0,
+            modeled: 0,
+        };
+        shard.schedule_hour(SimTime::ZERO);
+        shard
+    }
+
+    /// The instant the shard stops processing (campaign end plus the
+    /// settling grace period).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    fn push(&mut self, at: SimTime, lane: u32, key: u64, body: Body) {
+        self.queue.push_keyed(at, lane, key, body);
+    }
+
+    /// Run the event loop until the earliest pending event is past `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        if let Some((at, body)) = self.stashed.take() {
+            if at > until {
+                self.stashed = Some((at, body));
+                return;
+            }
+            self.pops += 1;
+            self.process(at, body);
+        }
+        while let Some((at, _, body)) = self.queue.pop() {
+            if at > until {
+                // Popped past the bound: replay it on the next epoch.
+                self.stashed = Some((at, body));
+                break;
+            }
+            self.pops += 1;
+            self.process(at, body);
+        }
+    }
+
+    /// Finish the shard: drain buffered records and report statistics.
+    pub fn finish(mut self) -> ShardOutcome {
+        self.flush();
+        ShardOutcome {
+            sim: SimStats {
+                delivered: self.delivered,
+                dropped: self.dropped,
+                timers_fired: self.timers_fired,
+                timers_cancelled: 0,
+                spawned: 2 + self.spawned,
+                removed: 0,
+                events_popped: self.pops,
+                peak_queue_len: self.queue.peak_len() as u64,
+            },
+            elided_msgs: self.elided,
+            modeled_msgs: self.modeled,
+        }
+    }
+
+    // ----- driver (lane 1) -------------------------------------------------
+
+    fn schedule_hour(&mut self, now: SimTime) {
+        let offs = self.arrivals.arrivals_in_hour(&mut self.drng);
+        for off in offs {
+            if now + off < self.end {
+                let key = self.dkey;
+                self.dkey += 1;
+                self.push(now + off, DRIVER_LANE, key, Body::Arrival);
+            }
+        }
+        if now + SimDuration::from_hours(1) < self.end {
+            let key = self.dkey;
+            self.dkey += 1;
+            self.push(
+                now + SimDuration::from_hours(1),
+                DRIVER_LANE,
+                key,
+                Body::DriverHour,
+            );
+        }
+    }
+
+    fn spawn_session(&mut self, now: SimTime) {
+        let hour = now.hour_of_day();
+        let day = now.day() as usize;
+        let mut rng = self.pop_seq.rng_indexed("peer", self.spawned);
+        self.spawned += 1;
+        let region = self.planner.diurnal.sample_region(hour, &mut rng);
+        let plan = self.planner.plan(day, hour, region, &mut rng);
+        let addr = self.alloc.sample(region, &mut rng);
+        let (ka_lo, ka_hi) = self.planner.params.keepalive_secs;
+        let keepalive = SimDuration::from_secs_f64(rng.gen_range(ka_lo..ka_hi));
+        let node = self.next_node;
+        self.next_node += 1;
+        // The peer's `on_start`: one latency draw, schedule key 0.
+        let d = self.peer_latency.sample(&mut rng);
+        let session = Session {
+            rng,
+            plan,
+            addr,
+            keepalive,
+            emitter: None,
+            pending: None,
+            next_key: 1,
+        };
+        let idx = (node - FIRST_SESSION_NODE) as usize;
+        debug_assert_eq!(idx, self.sessions.len());
+        self.sessions.push(Some(Box::new(session)));
+        self.push(now + d, node, 0, Body::ConnectArrive(node));
+    }
+
+    // ----- session helpers -------------------------------------------------
+
+    fn slot(&mut self, node: u32) -> &mut Option<Box<Session>> {
+        &mut self.sessions[(node - FIRST_SESSION_NODE) as usize]
+    }
+
+    fn take_session(&mut self, node: u32) -> Option<Box<Session>> {
+        self.slot(node).take()
+    }
+
+    fn put_session(&mut self, node: u32, sess: Box<Session>) {
+        *self.slot(node) = Some(sess);
+    }
+
+    fn session_alive(&mut self, node: u32) -> bool {
+        self.slot(node).is_some()
+    }
+
+    /// Pull the session's next emission and schedule its send instant
+    /// (the peer's single outstanding timer).
+    fn arm_next(&mut self, node: u32, sess: &mut Session) {
+        let Some(emitter) = sess.emitter.as_mut() else {
+            return;
+        };
+        if let Some((at, kind)) = emitter.next(&sess.plan, &self.relay, &mut sess.rng) {
+            sess.pending = Some(kind);
+            let key = sess.next_key;
+            sess.next_key += 1;
+            self.push(at, node, key, Body::PeerSend(node));
+        }
+    }
+
+    /// A session sends one message toward the collector: draw latency,
+    /// consume a schedule key, enqueue the arrival.
+    fn session_send(&mut self, node: u32, sess: &mut Session, now: SimTime, msg: WireMsg) {
+        let d = self.peer_latency.sample(&mut sess.rng);
+        let key = sess.next_key;
+        sess.next_key += 1;
+        self.push(now + d, node, key, Body::MsgArrive(node, msg));
+    }
+
+    // ----- collector helpers (lane 0) --------------------------------------
+
+    fn ckey(&mut self) -> u64 {
+        let k = self.ckey;
+        self.ckey += 1;
+        k
+    }
+
+    fn conn_index(&self, node: u32) -> Option<usize> {
+        self.conns.binary_search_by_key(&node, |e| e.0).ok()
+    }
+
+    fn flush(&mut self) {
+        if self.pending_records.is_empty() {
+            return;
+        }
+        self.sink
+            .lock()
+            .on_batch(&self.pending_records, &self.pending_wire);
+        self.pending_records.clear();
+        self.pending_wire.clear();
+    }
+
+    fn record(&mut self, sid: SessionId, at: SimTime, msg: &WireMsg) {
+        self.pending_wire.push(msg.wire);
+        self.pending_records.push(MessageRecord {
+            session: sid,
+            guid: msg.guid,
+            at,
+            hops: msg.hops,
+            ttl: msg.ttl,
+            payload: msg.payload,
+        });
+        if self.pending_records.len() >= RECORD_FLUSH_CHUNK {
+            self.flush();
+        }
+    }
+
+    fn finalize(&mut self, node: u32, end: SimTime, by_probe: bool) {
+        if let Some(i) = self.conn_index(node) {
+            let (_, sid, _) = self.conns.remove(i);
+            let mut sink = self.sink.lock();
+            sink.on_batch(&self.pending_records, &self.pending_wire);
+            self.pending_records.clear();
+            self.pending_wire.clear();
+            sink.on_close(sid, end, by_probe);
+        }
+    }
+
+    // ----- event processing ------------------------------------------------
+
+    fn process(&mut self, at: SimTime, body: Body) {
+        match body {
+            Body::DriverHour => {
+                self.timers_fired += 1;
+                self.schedule_hour(at);
+            }
+            Body::Arrival => {
+                self.timers_fired += 1;
+                self.spawn_session(at);
+            }
+            Body::ConnectArrive(node) => {
+                self.delivered += 1;
+                self.on_connect_arrive(node, at);
+            }
+            Body::AcceptArrive(node) => {
+                self.delivered += 1;
+                if let Some(mut sess) = self.take_session(node) {
+                    sess.emitter = Some(SessionEmitter::start(
+                        &sess.plan,
+                        sess.keepalive,
+                        &self.relay,
+                        at,
+                        &mut sess.rng,
+                    ));
+                    self.arm_next(node, &mut sess);
+                    self.put_session(node, sess);
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            Body::PeerSend(node) => {
+                let Some(mut sess) = self.take_session(node) else {
+                    self.dropped += 1;
+                    return;
+                };
+                self.timers_fired += 1;
+                let Some(kind) = sess.pending.take() else {
+                    self.put_session(node, sess);
+                    return;
+                };
+                let ended = self.emit(node, &mut sess, at, kind);
+                if ended {
+                    drop(sess); // the peer is gone; free its state
+                } else {
+                    self.arm_next(node, &mut sess);
+                    self.put_session(node, sess);
+                }
+            }
+            Body::MsgArrive(node, msg) => {
+                self.delivered += 1;
+                self.modeled += 1;
+                self.on_msg_arrive(node, at, msg);
+            }
+            Body::ConnClose(node) => {
+                self.delivered += 1;
+                self.finalize(node, at, false);
+            }
+            Body::PeerGone(node) => {
+                if self.session_alive(node) {
+                    self.delivered += 1;
+                    *self.slot(node) = None;
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            Body::FwdQuery {
+                target,
+                origin,
+                guid,
+            } => {
+                let Some(mut sess) = self.take_session(target) else {
+                    self.dropped += 1;
+                    return;
+                };
+                self.delivered += 1;
+                if let Some(a) = draw_query_answer(sess.plan.shared_files, &mut sess.rng) {
+                    let _ = a.speed; // recorded payloads carry addr+count only
+                    let _ = a.servent;
+                    let msg = WireMsg {
+                        guid,
+                        hops: 1,
+                        ttl: DEFAULT_TTL - 1,
+                        wire: WIRE_ANSWER_HIT,
+                        payload: RecordedPayload::QueryHit {
+                            addr: sess.addr,
+                            results: 1,
+                        },
+                        answer_origin: Some(origin),
+                    };
+                    self.session_send(target, &mut sess, at, msg);
+                }
+                self.put_session(target, sess);
+            }
+            Body::ProbePing(node) => {
+                let Some(mut sess) = self.take_session(node) else {
+                    self.dropped += 1;
+                    return;
+                };
+                self.delivered += 1;
+                let guid = Guid::random(&mut sess.rng);
+                let msg = WireMsg {
+                    guid,
+                    hops: 1,
+                    ttl: DEFAULT_TTL - 1,
+                    wire: WIRE_PONG,
+                    payload: RecordedPayload::Pong {
+                        addr: sess.addr,
+                        shared_files: sess.plan.shared_files,
+                    },
+                    answer_origin: None,
+                };
+                self.session_send(node, &mut sess, at, msg);
+                self.put_session(node, sess);
+            }
+            Body::IdleCheck(node) => {
+                self.on_idle_check(node, at);
+            }
+        }
+    }
+
+    fn on_connect_arrive(&mut self, node: u32, at: SimTime) {
+        if self.conns.len() >= self.max_connections {
+            // Busy reply: draw + key for ordering parity, no event — the
+            // rejected peer only removes itself.
+            let _ = self.coll_latency.sample(&mut self.crng);
+            let _ = self.ckey();
+            self.elided += 1;
+            *self.slot(node) = None;
+            return;
+        }
+        let Some(sess) = self.take_session(node) else {
+            return;
+        };
+        let sid = SessionId(self.next_sid);
+        self.next_sid += 1;
+        self.sink.lock().on_connect(ConnectionRecord {
+            id: sid,
+            addr: sess.addr,
+            user_agent: sess.plan.user_agent.clone(),
+            ultrapeer: sess.plan.ultrapeer,
+            start: at,
+            end: None,
+            closed_by_probe: false,
+        });
+        // Admission order is NOT monotone in node id: connect latencies
+        // differ, so a later-spawned peer can be admitted first. Keep the
+        // list sorted by node (the order the full collector's `ConnSet`
+        // maintains, which also fixes fanout-target selection).
+        match self.conns.binary_search_by_key(&node, |e| e.0) {
+            Ok(_) => unreachable!("node {node} admitted twice"),
+            Err(i) => self.conns.insert(i, (node, sid, IdleTracker::new(at))),
+        }
+        let d = self.coll_latency.sample(&mut self.crng);
+        let key = self.ckey();
+        self.push(at + d, COLLECTOR_LANE, key, Body::AcceptArrive(node));
+        let key = self.ckey();
+        self.push(
+            at + IDLE_PROBE_AFTER,
+            COLLECTOR_LANE,
+            key,
+            Body::IdleCheck(node),
+        );
+        self.put_session(node, sess);
+    }
+
+    /// Emit one item of the session's merged stream. Returns `true` when
+    /// the session ended (its state must be dropped).
+    fn emit(&mut self, node: u32, sess: &mut Session, now: SimTime, kind: EmissionKind) -> bool {
+        match kind {
+            EmissionKind::Planned(i) => {
+                let (text_len, sha1_len, text, has_sha1) = {
+                    let pq = &sess.plan.queries[i];
+                    (
+                        pq.text.text_len(),
+                        pq.sha1.as_ref().map(|s| s.len()),
+                        pq.text,
+                        pq.sha1.is_some(),
+                    )
+                };
+                let guid = Guid::random(&mut sess.rng);
+                let msg = WireMsg {
+                    guid,
+                    hops: 1,
+                    ttl: DEFAULT_TTL - 1,
+                    wire: wire_query(text_len, sha1_len),
+                    payload: RecordedPayload::Query {
+                        text,
+                        sha1: has_sha1,
+                    },
+                    answer_origin: None,
+                };
+                self.session_send(node, sess, now, msg);
+            }
+            EmissionKind::Keepalive => {
+                let guid = Guid::random(&mut sess.rng);
+                let msg = WireMsg {
+                    guid,
+                    hops: 1,
+                    ttl: DEFAULT_TTL - 1,
+                    wire: WIRE_PING,
+                    payload: RecordedPayload::Ping,
+                    answer_origin: None,
+                };
+                self.session_send(node, sess, now, msg);
+            }
+            EmissionKind::RelayQuery => {
+                let d = draw_relay_query(&self.vocab, &self.planner.diurnal, now, &mut sess.rng);
+                let msg = WireMsg {
+                    guid: d.guid,
+                    hops: d.hops,
+                    ttl: d.ttl,
+                    wire: wire_query(d.text.text_len(), None),
+                    payload: RecordedPayload::Query {
+                        text: d.text,
+                        sha1: false,
+                    },
+                    answer_origin: None,
+                };
+                self.session_send(node, sess, now, msg);
+            }
+            EmissionKind::RelayPong => {
+                let d = draw_relay_pong(
+                    &self.planner.diurnal,
+                    &self.alloc,
+                    &self.files,
+                    now,
+                    &mut sess.rng,
+                );
+                let msg = WireMsg {
+                    guid: d.guid,
+                    hops: d.hops,
+                    ttl: d.ttl,
+                    wire: WIRE_PONG,
+                    payload: RecordedPayload::Pong {
+                        addr: d.addr,
+                        shared_files: d.files,
+                    },
+                    answer_origin: None,
+                };
+                self.session_send(node, sess, now, msg);
+            }
+            EmissionKind::RelayHit => {
+                let d = draw_relay_hit(&self.planner.diurnal, &self.alloc, now, &mut sess.rng);
+                let n = d.results.len() as u32;
+                let msg = WireMsg {
+                    guid: d.guid,
+                    hops: d.hops,
+                    ttl: d.ttl,
+                    wire: WIRE_HIT_BASE + n * WIRE_RELAY_HIT_RESULT,
+                    payload: RecordedPayload::QueryHit {
+                        addr: d.addr,
+                        results: n as u8,
+                    },
+                    answer_origin: None,
+                };
+                self.session_send(node, sess, now, msg);
+            }
+            EmissionKind::End => {
+                if !sess.plan.vanish {
+                    if sess.plan.send_bye {
+                        let guid = Guid::random(&mut sess.rng);
+                        let msg = WireMsg {
+                            guid,
+                            hops: 1,
+                            ttl: DEFAULT_TTL - 1,
+                            wire: WIRE_BYE,
+                            payload: RecordedPayload::Bye,
+                            answer_origin: None,
+                        };
+                        self.session_send(node, sess, now, msg);
+                    }
+                    let d = self.peer_latency.sample(&mut sess.rng);
+                    let key = sess.next_key;
+                    sess.next_key += 1;
+                    self.push(now + d, node, key, Body::ConnClose(node));
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn on_msg_arrive(&mut self, node: u32, at: SimTime, msg: WireMsg) {
+        let Some(i) = self.conn_index(node) else {
+            return; // message after close — TCP stragglers, unrecorded
+        };
+        self.conns[i].2.on_receive(at);
+        let sid = self.conns[i].1;
+        self.record(sid, at, &msg);
+        match msg.payload {
+            RecordedPayload::Ping => {
+                // The collector's PONG reply: drawn, keyed, never seen.
+                let _ = Guid::random(&mut self.crng);
+                let _ = self.coll_latency.sample(&mut self.crng);
+                let _ = self.ckey();
+                self.elided += 1;
+            }
+            RecordedPayload::Query { .. } => {
+                // Fresh GUIDs never collide, so the routing-table insert
+                // always succeeds; forward when TTL allows.
+                if msg.ttl > 1 {
+                    let fanout = self.forward_fanout;
+                    let mut sent = 0usize;
+                    let mut idx = 0;
+                    while idx < self.conns.len() && sent < fanout {
+                        let target = self.conns[idx].0;
+                        idx += 1;
+                        if target == node {
+                            continue;
+                        }
+                        let d = self.coll_latency.sample(&mut self.crng);
+                        let key = self.ckey();
+                        sent += 1;
+                        let answers = self
+                            .slot(target)
+                            .as_ref()
+                            .is_some_and(|s| s.plan.shared_files > 0);
+                        if answers {
+                            self.push(
+                                at + d,
+                                COLLECTOR_LANE,
+                                key,
+                                Body::FwdQuery {
+                                    target,
+                                    origin: node,
+                                    guid: msg.guid,
+                                },
+                            );
+                        } else {
+                            // Delivered-but-inert (or dropped) copy.
+                            self.elided += 1;
+                        }
+                    }
+                }
+            }
+            RecordedPayload::QueryHit { .. } => {
+                if let Some(origin) = msg.answer_origin {
+                    // Reverse-route along the GUID path; the origin peer
+                    // ignores hits, so the delivery itself is elided.
+                    if origin != node && self.conn_index(origin).is_some() {
+                        let _ = self.coll_latency.sample(&mut self.crng);
+                        let _ = self.ckey();
+                        self.elided += 1;
+                    }
+                }
+            }
+            RecordedPayload::Pong { .. } => {}
+            RecordedPayload::Bye => {
+                self.finalize(node, at, false);
+            }
+        }
+    }
+
+    fn on_idle_check(&mut self, node: u32, at: SimTime) {
+        let Some(i) = self.conn_index(node) else {
+            return; // connection already gone; the chain dies
+        };
+        self.timers_fired += 1;
+        let action = self.conns[i].2.check(at);
+        match action {
+            IdleAction::CheckAt(deadline) => {
+                let key = self.ckey();
+                self.push(deadline, COLLECTOR_LANE, key, Body::IdleCheck(node));
+            }
+            IdleAction::SendProbe(deadline) => {
+                let _ = Guid::random(&mut self.crng);
+                let d = self.coll_latency.sample(&mut self.crng);
+                let key = self.ckey();
+                if self.session_alive(node) {
+                    self.push(at + d, COLLECTOR_LANE, key, Body::ProbePing(node));
+                } else {
+                    // Probe toward a vanished peer: it would be dropped.
+                    self.elided += 1;
+                }
+                let key = self.ckey();
+                self.push(deadline, COLLECTOR_LANE, key, Body::IdleCheck(node));
+            }
+            IdleAction::Close => {
+                let d = self.coll_latency.sample(&mut self.crng);
+                let key = self.ckey();
+                if self.session_alive(node) {
+                    self.push(at + d, COLLECTOR_LANE, key, Body::PeerGone(node));
+                } else {
+                    self.elided += 1;
+                }
+                self.finalize(node, at, true);
+            }
+        }
+    }
+}

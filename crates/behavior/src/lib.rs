@@ -31,16 +31,18 @@ pub mod arrivals;
 pub mod clients;
 pub mod driver;
 pub mod files;
+pub mod hybrid;
 pub mod params;
 pub mod peer;
 pub mod session;
+pub mod stream;
 pub mod vocabulary;
 
 pub use clients::{ClientPopulation, ClientProfile};
 pub use driver::{
     run_population, run_population_into, run_population_sharded, run_population_sharded_into,
     run_population_sharded_with_stats, run_population_with_stats, shard_worker_threads,
-    CampaignStats, PopulationConfig,
+    CampaignStats, Fidelity, PopulationConfig,
 };
 pub use files::SharedFilesModel;
 pub use params::BehaviorParams;

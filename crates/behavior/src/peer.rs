@@ -10,12 +10,28 @@
 //! through a million-node overlay because nothing the paper measures
 //! depends on the topology behind the one-hop neighbors (see DESIGN.md).
 //!
+//! All traffic is drawn through [`crate::stream`] from the session's own
+//! RNG, and every send/timer is scheduled with a `(lane, key)` ordering
+//! pair — the peer's node id and a session-local schedule counter. Both
+//! choices make the peer's observable behavior a pure function of its
+//! session stream, which is what lets the hybrid-fidelity engine
+//! ([`crate::hybrid`]) reproduce the observed trace bit for bit without
+//! running the actor.
+//!
+//! The emission timeline is pulled lazily off a [`SessionEmitter`]: one
+//! outstanding timer per session, re-armed at each emission, instead of
+//! pre-arming every planned query up front.
+//!
 //! Session end follows §3.2 reality: most peers *vanish* (no teardown;
 //! the measurement peer's probe closes the connection ≈30 s later), the
 //! rest close the TCP connection visibly.
 
 use crate::files::SharedFilesModel;
 use crate::session::SessionPlan;
+use crate::stream::{
+    draw_query_answer, draw_relay_hit, draw_relay_pong, draw_relay_query, EmissionKind,
+    SessionEmitter, ANSWER_FILE_NAME,
+};
 use crate::vocabulary::Vocabulary;
 use geoip::{AddressAllocator, DiurnalModel};
 use gnutella::message::{Message, Payload, Pong, Query, QueryHit, QueryHitResult};
@@ -23,9 +39,8 @@ use gnutella::net::{NetMsg, Transport};
 use gnutella::wire::decode_message;
 use gnutella::{Guid, Handshake, HandshakeResponse};
 use rand::rngs::StdRng;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
-use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration};
+use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration, SimTime};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -52,13 +67,6 @@ impl Default for RelayRates {
         }
     }
 }
-
-// Timer tags.
-const TAG_END: u64 = 1 << 40;
-const TAG_KEEPALIVE: u64 = 1 << 41;
-const TAG_RELAY_QUERY: u64 = 1 << 42;
-const TAG_RELAY_PONG: u64 = 1 << 43;
-const TAG_RELAY_HIT: u64 = 1 << 44;
 
 /// Shared environment handed to every client peer.
 #[derive(Clone)]
@@ -88,7 +96,12 @@ pub struct ClientPeer {
     env: PeerEnv,
     rng: StdRng,
     keepalive: SimDuration,
-    connected: bool,
+    emitter: Option<SessionEmitter>,
+    /// The already-selected next emission (the armed timer's meaning).
+    pending: Option<EmissionKind>,
+    /// Session-local schedule counter: the `key` half of every
+    /// `(lane, key)` this peer schedules with.
+    next_key: u64,
 }
 
 impl ClientPeer {
@@ -108,104 +121,142 @@ impl ClientPeer {
             env,
             rng,
             keepalive,
-            connected: false,
+            emitter: None,
+            pending: None,
+            next_key: 0,
         }
+    }
+
+    fn take_key(&mut self) -> u64 {
+        let k = self.next_key;
+        self.next_key += 1;
+        k
     }
 
     fn send_frame(&mut self, ctx: &mut Context<'_, NetMsg>, msg: Message) {
         let server = self.server;
-        let latency = self.env.latency;
-        ctx.send(server, self.env.transport.frame(msg), &latency);
+        let d = self.env.latency.sample(&mut self.rng);
+        let key = self.take_key();
+        let lane = ctx.id().0;
+        ctx.send_after_keyed(server, self.env.transport.frame(msg), d, lane, key);
     }
 
-    fn exp_delay(&mut self, mean_secs: f64) -> SimDuration {
-        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        SimDuration::from_secs_f64(-mean_secs * u.ln())
-    }
-
-    fn schedule_relays(&mut self, ctx: &mut Context<'_, NetMsg>) {
-        let q = self.exp_delay(self.env.relay.query_mean_secs);
-        ctx.set_timer(q, TAG_RELAY_QUERY);
-        let p = self.exp_delay(self.env.relay.pong_mean_secs);
-        ctx.set_timer(p, TAG_RELAY_PONG);
-        let h = self.exp_delay(self.env.relay.hit_mean_secs);
-        ctx.set_timer(h, TAG_RELAY_HIT);
-    }
-
-    fn relay_header(&mut self) -> (u8, u8) {
-        // Received hop counts of relayed traffic: skewed toward the middle
-        // of the 7-hop flood radius.
-        let hops = *[2u8, 2, 3, 3, 3, 4, 4, 5, 5, 6]
-            .get(self.rng.gen_range(0..10))
-            .unwrap();
-        (
-            hops,
-            gnutella::message::DEFAULT_TTL.saturating_sub(hops).max(1),
-        )
-    }
-
-    fn send_relay_query(&mut self, ctx: &mut Context<'_, NetMsg>) {
-        let hour = ctx.now().hour_of_day();
-        let day = ctx.now().day() as usize;
-        let region = self.env.diurnal.sample_region(hour, &mut self.rng);
-        let text = self.env.vocab.sample_query(region, day, &mut self.rng);
-        let (hops, ttl) = self.relay_header();
-        let msg = Message {
-            guid: Guid::random(&mut self.rng),
-            ttl,
-            hops,
-            payload: Payload::Query(Query::from_id(text)),
+    /// Pull the next emission off the merged stream and arm its timer.
+    fn arm_next(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let Some(emitter) = self.emitter.as_mut() else {
+            return;
         };
-        self.send_frame(ctx, msg);
+        if let Some((at, kind)) = emitter.next(&self.plan, &self.env.relay, &mut self.rng) {
+            self.pending = Some(kind);
+            let key = self.take_key();
+            let lane = ctx.id().0;
+            let delay = at.since(ctx.now());
+            ctx.set_timer_keyed(delay, 0, lane, key);
+        }
     }
 
-    fn send_relay_pong(&mut self, ctx: &mut Context<'_, NetMsg>) {
-        let hour = ctx.now().hour_of_day();
-        let region = self.env.diurnal.sample_region(hour, &mut self.rng);
-        let addr = self.env.alloc.sample(region, &mut self.rng);
-        let files = self.env.files.sample(&mut self.rng);
-        let kb = self.env.files.kb_for(files, &mut self.rng);
-        let (hops, ttl) = self.relay_header();
-        let msg = Message {
-            guid: Guid::random(&mut self.rng),
-            ttl,
-            hops,
-            payload: Payload::Pong(Pong {
-                port: 6346,
-                addr,
-                shared_files: files,
-                shared_kb: kb,
-            }),
-        };
-        self.send_frame(ctx, msg);
-    }
-
-    fn send_relay_hit(&mut self, ctx: &mut Context<'_, NetMsg>) {
-        let hour = ctx.now().hour_of_day();
-        let region = self.env.diurnal.sample_region(hour, &mut self.rng);
-        let addr = self.env.alloc.sample(region, &mut self.rng);
-        let (hops, ttl) = self.relay_header();
-        let n = self.rng.gen_range(1..=4);
-        let results = (0..n)
-            .map(|i| QueryHitResult {
-                index: i,
-                size: self.rng.gen_range(500_000..8_000_000),
-                name: format!("file{:04}.mp3", self.rng.gen_range(0..9_999)),
-            })
-            .collect();
-        let msg = Message {
-            guid: Guid::random(&mut self.rng),
-            ttl,
-            hops,
-            payload: Payload::QueryHit(QueryHit {
-                port: 6346,
-                addr,
-                speed: self.rng.gen_range(28..1_000),
-                results,
-                servent: Guid::random(&mut self.rng),
-            }),
-        };
-        self.send_frame(ctx, msg);
+    fn emit(&mut self, ctx: &mut Context<'_, NetMsg>, kind: EmissionKind) {
+        match kind {
+            EmissionKind::Planned(i) => {
+                let Some(pq) = self.plan.queries.get(i) else {
+                    return;
+                };
+                let payload = Payload::Query(Query {
+                    min_speed: 0,
+                    text: pq.text,
+                    sha1: pq.sha1.clone(),
+                });
+                let msg = Message::originate(Guid::random(&mut self.rng), payload).first_hop();
+                self.send_frame(ctx, msg);
+            }
+            EmissionKind::Keepalive => {
+                let ping =
+                    Message::originate(Guid::random(&mut self.rng), Payload::Ping).first_hop();
+                self.send_frame(ctx, ping);
+            }
+            EmissionKind::RelayQuery => {
+                let d =
+                    draw_relay_query(&self.env.vocab, &self.env.diurnal, ctx.now(), &mut self.rng);
+                let msg = Message {
+                    guid: d.guid,
+                    ttl: d.ttl,
+                    hops: d.hops,
+                    payload: Payload::Query(Query::from_id(d.text)),
+                };
+                self.send_frame(ctx, msg);
+            }
+            EmissionKind::RelayPong => {
+                let d = draw_relay_pong(
+                    &self.env.diurnal,
+                    &self.env.alloc,
+                    &self.env.files,
+                    ctx.now(),
+                    &mut self.rng,
+                );
+                let msg = Message {
+                    guid: d.guid,
+                    ttl: d.ttl,
+                    hops: d.hops,
+                    payload: Payload::Pong(Pong {
+                        port: 6346,
+                        addr: d.addr,
+                        shared_files: d.files,
+                        shared_kb: d.kb,
+                    }),
+                };
+                self.send_frame(ctx, msg);
+            }
+            EmissionKind::RelayHit => {
+                let d =
+                    draw_relay_hit(&self.env.diurnal, &self.env.alloc, ctx.now(), &mut self.rng);
+                let results = d
+                    .results
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| QueryHitResult {
+                        index: i as u32,
+                        size: r.size,
+                        name: format!("file{:04}.mp3", r.name_num),
+                    })
+                    .collect();
+                let msg = Message {
+                    guid: d.guid,
+                    ttl: d.ttl,
+                    hops: d.hops,
+                    payload: Payload::QueryHit(QueryHit {
+                        port: 6346,
+                        addr: d.addr,
+                        speed: d.speed,
+                        results,
+                        servent: d.servent,
+                    }),
+                };
+                self.send_frame(ctx, msg);
+            }
+            EmissionKind::End => {
+                if !self.plan.vanish {
+                    if self.plan.send_bye {
+                        let bye = Message::originate(
+                            Guid::random(&mut self.rng),
+                            Payload::Bye(gnutella::message::Bye {
+                                code: 200,
+                                reason: "shutting down".into(),
+                            }),
+                        )
+                        .first_hop();
+                        self.send_frame(ctx, bye);
+                    }
+                    let server = self.server;
+                    let d = self.env.latency.sample(&mut self.rng);
+                    let key = self.take_key();
+                    let lane = ctx.id().0;
+                    ctx.send_after_keyed(server, NetMsg::Disconnect, d, lane, key);
+                }
+                // Either way the peer is gone; a vanished peer simply stops
+                // responding and the measurement side probe-closes later.
+                ctx.remove_self();
+            }
+        }
     }
 
     /// React to one frame from the measurement peer, however it traveled.
@@ -225,38 +276,29 @@ impl ClientPeer {
                 .first_hop();
                 self.send_frame(ctx, pong);
             }
-            Payload::Query(_) => self.maybe_answer_query(ctx, m),
+            Payload::Query(_) => {
+                if let Some(a) = draw_query_answer(self.plan.shared_files, &mut self.rng) {
+                    let msg = Message {
+                        guid: m.guid,
+                        ttl: gnutella::message::DEFAULT_TTL - 1,
+                        hops: 1,
+                        payload: Payload::QueryHit(QueryHit {
+                            port: 6346,
+                            addr: self.addr,
+                            speed: a.speed,
+                            results: vec![QueryHitResult {
+                                index: 0,
+                                size: a.size,
+                                name: ANSWER_FILE_NAME.into(),
+                            }],
+                            servent: a.servent,
+                        }),
+                    };
+                    self.send_frame(ctx, msg);
+                }
+            }
             _ => {}
         }
-    }
-
-    /// Respond to a query forwarded to us by the measurement peer.
-    fn maybe_answer_query(&mut self, ctx: &mut Context<'_, NetMsg>, incoming: &Message) {
-        if self.plan.shared_files == 0 {
-            return;
-        }
-        // A modest hit probability; hits reuse the incoming GUID so the
-        // measurement peer's reverse routing is exercised.
-        if self.rng.gen::<f64>() > 0.05 {
-            return;
-        }
-        let msg = Message {
-            guid: incoming.guid,
-            ttl: gnutella::message::DEFAULT_TTL - 1,
-            hops: 1,
-            payload: Payload::QueryHit(QueryHit {
-                port: 6346,
-                addr: self.addr,
-                speed: self.rng.gen_range(28..1_000),
-                results: vec![QueryHitResult {
-                    index: 0,
-                    size: self.rng.gen_range(500_000..8_000_000),
-                    name: "match.mp3".into(),
-                }],
-                servent: Guid::random(&mut self.rng),
-            }),
-        };
-        self.send_frame(ctx, msg);
     }
 }
 
@@ -267,31 +309,33 @@ impl Actor for ClientPeer {
         let hs = Handshake::new(self.plan.user_agent.clone(), self.plan.ultrapeer).render();
         let addr = self.addr;
         let server = self.server;
-        let latency = self.env.latency;
-        ctx.send(
+        let d = self.env.latency.sample(&mut self.rng);
+        let key = self.take_key();
+        let lane = ctx.id().0;
+        ctx.send_after_keyed(
             server,
             NetMsg::Connect {
                 addr,
                 handshake: hs,
             },
-            &latency,
+            d,
+            lane,
+            key,
         );
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, NetMsg>, _from: NodeId, msg: NetMsg) {
         match msg {
             NetMsg::ConnectReply(HandshakeResponse::Accept) => {
-                self.connected = true;
                 // Plan timeline starts now.
-                for (i, q) in self.plan.queries.iter().enumerate() {
-                    ctx.set_timer(q.offset, i as u64);
-                }
-                ctx.set_timer(self.plan.duration, TAG_END);
-                let ka = self.keepalive;
-                ctx.set_timer(ka, TAG_KEEPALIVE);
-                if self.plan.ultrapeer {
-                    self.schedule_relays(ctx);
-                }
+                self.emitter = Some(SessionEmitter::start(
+                    &self.plan,
+                    self.keepalive,
+                    &self.env.relay,
+                    ctx.now(),
+                    &mut self.rng,
+                ));
+                self.arm_next(ctx);
             }
             NetMsg::ConnectReply(HandshakeResponse::Busy) => {
                 ctx.remove_self();
@@ -309,71 +353,20 @@ impl Actor for ClientPeer {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, tag: u64) {
-        if !self.connected {
+    fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg>, _tag: u64) {
+        if self.emitter.is_none() {
             return;
         }
-        match tag {
-            TAG_END => {
-                if !self.plan.vanish {
-                    if self.plan.send_bye {
-                        let bye = Message::originate(
-                            Guid::random(&mut self.rng),
-                            Payload::Bye(gnutella::message::Bye {
-                                code: 200,
-                                reason: "shutting down".into(),
-                            }),
-                        )
-                        .first_hop();
-                        self.send_frame(ctx, bye);
-                    }
-                    let server = self.server;
-                    let latency = self.env.latency;
-                    ctx.send(server, NetMsg::Disconnect, &latency);
-                }
-                // Either way the peer is gone; a vanished peer simply stops
-                // responding and the measurement side probe-closes later.
-                ctx.remove_self();
-            }
-            TAG_KEEPALIVE => {
-                let ping =
-                    Message::originate(Guid::random(&mut self.rng), Payload::Ping).first_hop();
-                self.send_frame(ctx, ping);
-                let ka = self.keepalive;
-                ctx.set_timer(ka, TAG_KEEPALIVE);
-            }
-            TAG_RELAY_QUERY => {
-                self.send_relay_query(ctx);
-                let d = self.exp_delay(self.env.relay.query_mean_secs);
-                ctx.set_timer(d, TAG_RELAY_QUERY);
-            }
-            TAG_RELAY_PONG => {
-                self.send_relay_pong(ctx);
-                let d = self.exp_delay(self.env.relay.pong_mean_secs);
-                ctx.set_timer(d, TAG_RELAY_PONG);
-            }
-            TAG_RELAY_HIT => {
-                self.send_relay_hit(ctx);
-                let d = self.exp_delay(self.env.relay.hit_mean_secs);
-                ctx.set_timer(d, TAG_RELAY_HIT);
-            }
-            i => {
-                // A planned query.
-                let Some(pq) = self.plan.queries.get(i as usize) else {
-                    return;
-                };
-                let payload = Payload::Query(Query {
-                    min_speed: 0,
-                    text: pq.text,
-                    sha1: pq.sha1.clone(),
-                });
-                let msg = Message::originate(Guid::random(&mut self.rng), payload).first_hop();
-                self.send_frame(ctx, msg);
-            }
+        let Some(kind) = self.pending.take() else {
+            return;
+        };
+        self.emit(ctx, kind);
+        if kind != EmissionKind::End {
+            self.arm_next(ctx);
         }
     }
 
-    fn on_stop(&mut self, _now: simnet::SimTime) {}
+    fn on_stop(&mut self, _now: SimTime) {}
 }
 
 // Quick-session note: quick disconnects are just plans with kind

@@ -10,7 +10,16 @@
 //!   [`analysis::StreamingPipeline`] sinks; the trace is never
 //!   materialized and `analysis_secs` is the post-campaign finish+merge.
 //!
-//! Every (scale, mode, shards) configuration runs `P2PQ_PERF_REPS` times
+//! Each configuration also runs at one or more fidelities:
+//!
+//! * `full` — every peer is simulated per message;
+//! * `hybrid` — the far cloud (busy-rejected arrivals, relay traffic
+//!   that cannot reach the trace) is a statistical flow process; only
+//!   collector-observable messages are simulated. The observed trace is
+//!   bit-identical by construction, and every report carries a
+//!   `trace_fingerprint` so full/hybrid divergence fails the run.
+//!
+//! Every (scale, mode, fidelity, shards) configuration runs `P2PQ_PERF_REPS` times
 //! (default 3); the report records all wall times plus the best and the
 //! relative spread, and throughput is computed from the best run —
 //! min-of-N is the standard estimator for the noise-free cost on a
@@ -25,15 +34,21 @@
 //! against a previous one and exits non-zero if, on any configuration
 //! present in both, campaign throughput (messages/sec) regressed by more
 //! than 30 % — or, at smoke scale, `peak_trace_bytes` grew by more than
-//! 30 %. The comparison is skipped — with a message, exit 0 — when the
+//! 30 %. Independently of `--check`, whenever a configuration ran at
+//! both fidelities the harness compares their observed-trace
+//! fingerprints and exits non-zero on any divergence.
+//! The `--check` comparison is skipped — with a message, exit 0 — when the
 //! baseline was recorded on a host with a different core count, since
 //! shard scaling makes the numbers incommensurable across machines.
 //!
 //! Environment knobs:
 //!
 //! * `P2PQ_PERF_SCALES` — comma-separated subset of
-//!   `smoke,default,cap200,full` (default: `smoke,default`).
+//!   `smoke,default,cap200,full,mega` (default: `smoke,default`).
 //! * `P2PQ_PERF_SHARDS` — comma-separated shard counts (default: `1,2,4`).
+//! * `P2PQ_PERF_FIDELITY` — comma-separated subset of `full,hybrid`
+//!   (default: `full,hybrid`; list `full` first so hybrid runs can report
+//!   `campaign_speedup_vs_full`).
 //! * `P2PQ_PERF_REPS` — repetitions per configuration (default: 3).
 //!
 //! Logical shards are a determinism construct; OS threads are clamped to
@@ -48,14 +63,15 @@ use analysis::popularity::DailyObservations;
 use analysis::streaming::{finish_shards, shard_pipelines};
 use behavior::{
     run_population_sharded_into, run_population_sharded_with_stats, shard_worker_threads,
-    CampaignStats,
+    CampaignStats, Fidelity, PopulationConfig,
 };
 use bench_support::Scale;
 use geoip::{GeoDb, Region};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use trace::SharedSink;
+use trace::{RecordedPayload, SharedSink, Trace};
 
 /// Throughput regression tolerance for `--check`: fail if fresh
 /// messages/sec drops below this fraction of the baseline.
@@ -100,6 +116,10 @@ struct PerfRun {
     /// `retain` (materialized trace + batch analysis) or `streaming`
     /// (online aggregation, trace never stored).
     mode: String,
+    /// `full` (per-message simulation everywhere) or `hybrid` (far-cloud
+    /// flow model). Absent in pre-hybrid baselines, which were all full.
+    #[serde(default)]
+    fidelity: String,
     shards: usize,
     days: f64,
     sessions_per_day: f64,
@@ -125,6 +145,26 @@ struct PerfRun {
     /// threads; `null` when the worker pool was clamped to fewer cores,
     /// where a "speedup" would be meaningless.
     campaign_speedup_vs_1_shard: Option<f64>,
+    /// True when the worker pool was clamped below the shard count (the
+    /// condition that nulls `campaign_speedup_vs_1_shard`).
+    #[serde(default)]
+    threads_clamped: bool,
+    /// Best full-fidelity campaign time at this (scale, mode, shards)
+    /// divided by this run's best — only on hybrid runs, and only when
+    /// the full counterpart ran in the same invocation.
+    #[serde(default)]
+    campaign_speedup_vs_full: Option<f64>,
+    /// Fraction of the campaign's messages the far-cloud flow model
+    /// avoided simulating: elided / (elided + modeled). `null` on
+    /// full-fidelity runs, where nothing is elided.
+    #[serde(default)]
+    far_cloud_avoided_frac: Option<f64>,
+    /// FNV-1a digest of the observed trace. In retain mode it covers
+    /// every connection and message record; in streaming mode the
+    /// pipeline's aggregate counters. Full and hybrid runs of the same
+    /// configuration must agree — divergence fails the harness.
+    #[serde(default)]
+    trace_fingerprint: u64,
     /// Events popped off the simulator queue(s), summed across shards.
     events_popped: u64,
     /// Largest event-queue high-water mark any shard observed.
@@ -147,6 +187,8 @@ struct PerfReport {
     generated_by: String,
     cores: u64,
     scales: Vec<String>,
+    #[serde(default)]
+    fidelities: Vec<String>,
     shard_counts: Vec<u64>,
     reps: u64,
     note: String,
@@ -159,8 +201,106 @@ fn scale_by_name(name: &str) -> Option<Scale> {
         "default" => Some(Scale::Default),
         "cap200" => Some(Scale::Cap200),
         "full" => Some(Scale::Full),
+        "mega" => Some(Scale::Mega),
         _ => None,
     }
+}
+
+fn fidelity_by_name(name: &str) -> Option<Fidelity> {
+    match name {
+        "full" => Some(Fidelity::Full),
+        "hybrid" => Some(Fidelity::Hybrid),
+        _ => None,
+    }
+}
+
+/// Fidelity of a (possibly pre-hybrid) recorded run: baselines written
+/// before the field existed were all full simulations.
+fn fid_of(run: &PerfRun) -> &str {
+    if run.fidelity.is_empty() {
+        "full"
+    } else {
+        &run.fidelity
+    }
+}
+
+/// FNV-1a, the usual 64-bit offset basis and prime.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// Digest every recorded connection and message of a materialized trace.
+fn fingerprint_trace(trace: &Trace) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(trace.connections.len() as u64);
+    for c in &trace.connections {
+        h.u64(c.id.0);
+        h.u64(u64::from(u32::from(c.addr)));
+        h.bytes(c.user_agent.as_bytes());
+        h.u64(u64::from(c.ultrapeer));
+        h.u64(c.start.as_millis());
+        h.u64(c.end.map_or(u64::MAX, |e| e.as_millis()));
+        h.u64(u64::from(c.closed_by_probe));
+    }
+    h.u64(trace.messages.len() as u64);
+    for m in trace.messages.iter() {
+        h.u64(m.session.0);
+        h.bytes(&m.guid.0);
+        h.u64(m.at.as_millis());
+        h.u64(u64::from(m.hops));
+        h.u64(u64::from(m.ttl));
+        match m.payload {
+            RecordedPayload::Ping => h.u64(1),
+            RecordedPayload::Pong { addr, shared_files } => {
+                h.u64(2);
+                h.u64(u64::from(u32::from(addr)));
+                h.u64(u64::from(shared_files));
+            }
+            RecordedPayload::Query { text, sha1 } => {
+                h.u64(3);
+                h.bytes(text.as_str().as_bytes());
+                h.u64(u64::from(sha1));
+            }
+            RecordedPayload::QueryHit { addr, results } => {
+                h.u64(4);
+                h.u64(u64::from(u32::from(addr)));
+                h.u64(u64::from(results));
+            }
+            RecordedPayload::Bye => h.u64(5),
+        }
+    }
+    h.0
+}
+
+/// Digest the scalar aggregates available when the trace is never
+/// materialized (streaming mode).
+fn fingerprint_aggregates(
+    sessions: u64,
+    messages: u64,
+    wire_bytes: u64,
+    filtered_sessions: u64,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(sessions);
+    h.u64(messages);
+    h.u64(wire_bytes);
+    h.u64(filtered_sessions);
+    h.0
 }
 
 fn env_list(var: &str, default: &str) -> Vec<String> {
@@ -207,12 +347,12 @@ struct RepResult {
     filtered_sessions: u64,
     wire_bytes: u64,
     peak_trace_bytes: u64,
+    fingerprint: u64,
 }
 
-fn run_retain_rep(scale: Scale, shards: usize, db: &GeoDb) -> RepResult {
-    let cfg = scale.population();
+fn run_retain_rep(cfg: &PopulationConfig, shards: usize, db: &GeoDb) -> RepResult {
     let t0 = Instant::now();
-    let (trace, stats) = run_population_sharded_with_stats(&cfg, shards);
+    let (trace, stats) = run_population_sharded_with_stats(cfg, shards);
     let campaign_secs = t0.elapsed().as_secs_f64();
     let peak_trace_bytes = trace.mem_bytes();
 
@@ -227,6 +367,9 @@ fn run_retain_rep(scale: Scale, shards: usize, db: &GeoDb) -> RepResult {
     let analysis_secs = t1.elapsed().as_secs_f64();
     // Keep the aggregates alive through the timing window.
     std::hint::black_box((&obs, &hist, load_total));
+    // Fingerprint outside both timing windows: it is a correctness
+    // artifact, not part of the pipeline being measured.
+    let fingerprint = fingerprint_trace(&trace);
 
     RepResult {
         campaign_secs,
@@ -237,15 +380,15 @@ fn run_retain_rep(scale: Scale, shards: usize, db: &GeoDb) -> RepResult {
         filtered_sessions: ft.sessions.len() as u64,
         wire_bytes: trace.wire_bytes,
         peak_trace_bytes,
+        fingerprint,
     }
 }
 
-fn run_streaming_rep(scale: Scale, shards: usize, db: &GeoDb) -> RepResult {
-    let cfg = scale.population();
+fn run_streaming_rep(cfg: &PopulationConfig, shards: usize, db: &GeoDb) -> RepResult {
     let t0 = Instant::now();
     let sinks = shard_pipelines(db, false, shards);
     let shared: Vec<SharedSink> = sinks.iter().map(|s| Arc::clone(s) as SharedSink).collect();
-    let stats = run_population_sharded_into(&cfg, shards, shared, false);
+    let stats = run_population_sharded_into(cfg, shards, shared, false);
     let campaign_secs = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -261,21 +404,32 @@ fn run_streaming_rep(scale: Scale, shards: usize, db: &GeoDb) -> RepResult {
         filtered_sessions: r.ft.report.final_sessions,
         wire_bytes: r.wire_bytes,
         peak_trace_bytes: r.peak_bytes,
+        fingerprint: fingerprint_aggregates(
+            r.sessions_seen,
+            r.messages_seen,
+            r.wire_bytes,
+            r.ft.report.final_sessions,
+        ),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn time_one(
     scale_name: &str,
     scale: Scale,
     mode: &str,
+    fid_name: &str,
+    fidelity: Fidelity,
     shards: usize,
     reps: usize,
     baseline_best: Option<f64>,
+    full_best: Option<f64>,
     cores: u64,
 ) -> PerfRun {
-    let cfg = scale.population();
+    let mut cfg = scale.population();
+    cfg.fidelity = fidelity;
     eprintln!(
-        "[perf] {scale_name}/{mode}: {} day(s) × {} sessions/day, {shards} shard(s), {reps} rep(s)…",
+        "[perf] {scale_name}/{mode}/{fid_name}: {} day(s) × {} sessions/day, {shards} shard(s), {reps} rep(s)…",
         cfg.days, cfg.sessions_per_day
     );
     let db = GeoDb::synthetic();
@@ -289,9 +443,9 @@ fn time_one(
     for rep in 0..reps {
         reset_vm_hwm();
         let r = if mode == "streaming" {
-            run_streaming_rep(scale, shards, &db)
+            run_streaming_rep(&cfg, shards, &db)
         } else {
-            run_retain_rep(scale, shards, &db)
+            run_retain_rep(&cfg, shards, &db)
         };
         peak_rss_bytes = peak_rss_bytes.max(vm_hwm_bytes());
         peak_trace_bytes = peak_trace_bytes.max(r.peak_trace_bytes);
@@ -340,9 +494,21 @@ fn time_one(
         last.stats.peak_queue_len,
     );
 
+    let far_cloud_total = last.stats.hybrid_elided_msgs + last.stats.hybrid_modeled_msgs;
+    let far_cloud_avoided_frac = if far_cloud_total > 0 {
+        Some(last.stats.hybrid_elided_msgs as f64 / far_cloud_total as f64)
+    } else {
+        None
+    };
+    let campaign_speedup_vs_full = full_best.map(|fb| fb / campaign.best.max(1e-9));
+    if let Some(s) = campaign_speedup_vs_full {
+        eprintln!("[perf]   hybrid vs full campaign speedup: {s:.2}x");
+    }
+
     PerfRun {
         scale: scale_name.to_string(),
         mode: mode.to_string(),
+        fidelity: fid_name.to_string(),
         shards,
         days: cfg.days,
         sessions_per_day: cfg.sessions_per_day,
@@ -356,6 +522,10 @@ fn time_one(
         analysis,
         total,
         campaign_speedup_vs_1_shard,
+        threads_clamped: clamped,
+        campaign_speedup_vs_full,
+        far_cloud_avoided_frac,
+        trace_fingerprint: last.fingerprint,
         events_popped: last.stats.events_popped,
         peak_event_queue: last.stats.peak_queue_len,
         wire_bytes: last.wire_bytes,
@@ -377,11 +547,12 @@ fn check_against(fresh: &PerfReport, baseline: &PerfReport) -> Option<usize> {
     let mut regressions = 0;
     let mut compared = 0;
     for run in &fresh.runs {
-        let Some(base) = baseline
-            .runs
-            .iter()
-            .find(|b| b.scale == run.scale && b.mode == run.mode && b.shards == run.shards)
-        else {
+        let Some(base) = baseline.runs.iter().find(|b| {
+            b.scale == run.scale
+                && b.mode == run.mode
+                && b.shards == run.shards
+                && fid_of(b) == fid_of(run)
+        }) else {
             continue;
         };
         compared += 1;
@@ -393,9 +564,10 @@ fn check_against(fresh: &PerfReport, baseline: &PerfReport) -> Option<usize> {
             "ok"
         };
         eprintln!(
-            "[perf] check {}/{}/{} shards: {:.0} msg/s vs baseline {:.0} (floor {:.0}) — {}",
+            "[perf] check {}/{}/{}/{} shards: {:.0} msg/s vs baseline {:.0} (floor {:.0}) — {}",
             run.scale,
             run.mode,
+            fid_of(run),
             run.shards,
             run.messages_per_sec,
             base.messages_per_sec,
@@ -412,9 +584,10 @@ fn check_against(fresh: &PerfReport, baseline: &PerfReport) -> Option<usize> {
                 "ok"
             };
             eprintln!(
-                "[perf] check {}/{}/{} shards: {:.1} MiB trace vs baseline {:.1} (ceiling {:.1}) — {}",
+                "[perf] check {}/{}/{}/{} shards: {:.1} MiB trace vs baseline {:.1} (ceiling {:.1}) — {}",
                 run.scale,
                 run.mode,
+                fid_of(run),
                 run.shards,
                 run.peak_trace_bytes as f64 / (1024.0 * 1024.0),
                 base.peak_trace_bytes as f64 / (1024.0 * 1024.0),
@@ -429,6 +602,39 @@ fn check_against(fresh: &PerfReport, baseline: &PerfReport) -> Option<usize> {
     Some(regressions)
 }
 
+/// Compare the observed-trace fingerprints of every hybrid run against
+/// its full-fidelity counterpart in the same report; returns the number
+/// of diverged configurations. This is the scale-independent version of
+/// the golden equivalence test: the flow model may skip work, but it may
+/// not change a recorded byte.
+fn check_fidelity_divergence(report: &PerfReport) -> usize {
+    let mut divergences = 0;
+    for run in &report.runs {
+        if fid_of(run) != "hybrid" {
+            continue;
+        }
+        let Some(full) = report.runs.iter().find(|b| {
+            fid_of(b) == "full"
+                && b.scale == run.scale
+                && b.mode == run.mode
+                && b.shards == run.shards
+        }) else {
+            continue;
+        };
+        let verdict = if full.trace_fingerprint == run.trace_fingerprint {
+            "identical"
+        } else {
+            divergences += 1;
+            "DIVERGED"
+        };
+        eprintln!(
+            "[perf] fidelity {}/{}/{} shards: hybrid trace fingerprint {:#018x} vs full {:#018x} — {}",
+            run.scale, run.mode, run.shards, run.trace_fingerprint, full.trace_fingerprint, verdict
+        );
+    }
+    divergences
+}
+
 fn main() {
     let mut out_path = "BENCH_POPULATION.json".to_string();
     let mut check_path: Option<String> = None;
@@ -441,6 +647,7 @@ fn main() {
         }
     }
     let scales = env_list("P2PQ_PERF_SCALES", "smoke,default");
+    let fidelities = env_list("P2PQ_PERF_FIDELITY", "full,hybrid");
     let shard_counts: Vec<usize> = env_list("P2PQ_PERF_SHARDS", "1,2,4")
         .iter()
         .map(|s| s.parse().expect("P2PQ_PERF_SHARDS must be integers"))
@@ -458,13 +665,30 @@ fn main() {
         // Streaming first: its RSS measurement must not inherit pages the
         // allocator retains from a prior materialized trace.
         for mode in ["streaming", "retain"] {
-            let mut baseline: Option<f64> = None;
-            for &shards in &shard_counts {
-                let run = time_one(scale_name, scale, mode, shards, reps, baseline, cores);
-                if shards == 1 {
-                    baseline = Some(run.campaign.best);
+            let mut full_bests: HashMap<usize, f64> = HashMap::new();
+            for fid_name in &fidelities {
+                let fidelity = fidelity_by_name(fid_name).unwrap_or_else(|| {
+                    panic!("unknown fidelity {fid_name:?} in P2PQ_PERF_FIDELITY")
+                });
+                let mut baseline: Option<f64> = None;
+                for &shards in &shard_counts {
+                    let full_best = if fidelity == Fidelity::Hybrid {
+                        full_bests.get(&shards).copied()
+                    } else {
+                        None
+                    };
+                    let run = time_one(
+                        scale_name, scale, mode, fid_name, fidelity, shards, reps, baseline,
+                        full_best, cores,
+                    );
+                    if shards == 1 {
+                        baseline = Some(run.campaign.best);
+                    }
+                    if fidelity == Fidelity::Full {
+                        full_bests.insert(shards, run.campaign.best);
+                    }
+                    runs.push(run);
                 }
-                runs.push(run);
             }
         }
     }
@@ -473,14 +697,17 @@ fn main() {
         generated_by: "p2pq-bench perf".to_string(),
         cores,
         scales,
+        fidelities,
         shard_counts: shard_counts.iter().map(|&s| s as u64).collect(),
         reps: reps as u64,
         note: format!(
             "Wall times are min-of-{reps} (see `runs`/`best`/`spread`). Worker \
              threads are clamped to the core count (this machine reports {cores}); \
-             `campaign_speedup_vs_1_shard` is null for clamped configurations. \
-             The merged trace and all analysis products are bit-identical across \
-             repeated runs, shard counts, and trace modes."
+             `campaign_speedup_vs_1_shard` is null for clamped configurations \
+             (`threads_clamped` says which). The merged trace and all analysis \
+             products are bit-identical across repeated runs, shard counts, trace \
+             modes, and fidelities — `trace_fingerprint` is checked full vs hybrid \
+             on every invocation that runs both."
         ),
         runs,
     };
@@ -488,6 +715,12 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize perf report");
     std::fs::write(&out_path, json + "\n").expect("write perf report");
     eprintln!("[perf] wrote {out_path}");
+
+    let divergences = check_fidelity_divergence(&report);
+    if divergences > 0 {
+        eprintln!("[perf] {divergences} observed-trace divergence(s) between fidelities");
+        std::process::exit(1);
+    }
 
     if let Some(path) = check_path {
         let text = std::fs::read_to_string(&path)

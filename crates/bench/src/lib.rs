@@ -5,7 +5,8 @@
 //! `all_experiments` runs the full set and assembles the EXPERIMENTS.md
 //! data. The context — a simulated measurement campaign plus its filtered
 //! and popularity views — is built once per process at a scale set by the
-//! `P2PQ_SCALE` environment variable (`smoke`, `default`, or `full`).
+//! `P2PQ_SCALE` environment variable (`smoke`, `default`, `cap200`,
+//! `full`, or `mega`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +32,11 @@ pub enum Scale {
     Cap200,
     /// A 40-day, paper-sized campaign (long, memory-heavy).
     Full,
+    /// A flood-regime stress scale: two million arrivals/day against the
+    /// faithful 200-slot cap. The observed trace stays cap-bound and
+    /// small; nearly all per-arrival work is far-cloud traffic, which is
+    /// the regime the hybrid-fidelity flow model exists for.
+    Mega,
 }
 
 impl Scale {
@@ -40,6 +46,7 @@ impl Scale {
             Ok("smoke") => Scale::Smoke,
             Ok("cap200") => Scale::Cap200,
             Ok("full") => Scale::Full,
+            Ok("mega") => Scale::Mega,
             _ => Scale::Default,
         }
     }
@@ -77,6 +84,13 @@ impl Scale {
                 seed: 1964,
                 days: 40.0,
                 sessions_per_day: 109_000.0,
+                max_connections: 200,
+                ..PopulationConfig::default()
+            },
+            Scale::Mega => PopulationConfig {
+                seed: 1964,
+                days: 1.0,
+                sessions_per_day: 2_000_000.0,
                 max_connections: 200,
                 ..PopulationConfig::default()
             },

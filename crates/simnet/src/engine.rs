@@ -32,8 +32,11 @@ pub struct TimerId(u64);
 
 /// A simulated node.
 ///
-/// Implementations must be `'static` (they are boxed into the node table).
-pub trait Actor {
+/// Implementations must be `'static` (they are boxed into the node table)
+/// and `Send`: a whole simulator may migrate between worker threads at
+/// epoch boundaries under the work-stealing shard scheduler, carrying its
+/// node table with it.
+pub trait Actor: Send {
     /// The message type exchanged in this simulation.
     type Msg;
 
@@ -130,6 +133,29 @@ impl<'a, M> Context<'a, M> {
             .push(self.now + delay, Event::Deliver { from, to, msg });
     }
 
+    /// As [`Context::send_after`], but with an explicit `(lane, key)`
+    /// ordering pair: deliveries landing on the same millisecond pop in
+    /// ascending `(lane, key)` order. Actors that key every send with
+    /// their own node id and a local send counter make tie order a pure
+    /// function of visible behavior — the contract the hybrid-fidelity
+    /// engine replays.
+    pub fn send_after_keyed(
+        &mut self,
+        to: NodeId,
+        msg: M,
+        delay: SimDuration,
+        lane: u32,
+        key: u64,
+    ) {
+        let from = self.self_id;
+        self.queue.push_keyed(
+            self.now + delay,
+            lane,
+            key,
+            Event::Deliver { from, to, msg },
+        );
+    }
+
     /// Send `msg` to `to` with delay drawn from `latency`.
     pub fn send(&mut self, to: NodeId, msg: M, latency: &LatencyModel) {
         let d = latency.sample(self.rng);
@@ -142,6 +168,22 @@ impl<'a, M> Context<'a, M> {
         let seq = self
             .queue
             .push(self.now + delay, Event::Timer { node, tag });
+        TimerId(seq)
+    }
+
+    /// As [`Context::set_timer`], but with an explicit `(lane, key)`
+    /// ordering pair (see [`Context::send_after_keyed`]).
+    pub fn set_timer_keyed(
+        &mut self,
+        delay: SimDuration,
+        tag: u64,
+        lane: u32,
+        key: u64,
+    ) -> TimerId {
+        let node = self.self_id;
+        let seq = self
+            .queue
+            .push_keyed(self.now + delay, lane, key, Event::Timer { node, tag });
         TimerId(seq)
     }
 

@@ -126,11 +126,6 @@ impl ConnSet {
             Err(_) => None,
         }
     }
-
-    /// Node ids in ascending order.
-    fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries.iter().map(|e| e.0)
-    }
 }
 
 /// Counters the collector keeps in addition to the trace.
@@ -180,6 +175,13 @@ pub struct MeasurementPeer {
     /// sink, not just a retained trace. Ids are dense from 0, which is
     /// what indexes a retained trace's `connections` vector.
     next_sid: u64,
+    /// Lane-local schedule counter: the `key` half of the `(lane, key)`
+    /// ordering pair on every send and timer this actor schedules. Keyed
+    /// scheduling (plus sampling latency from the collector's own RNG
+    /// rather than the engine's) makes the collector's event timing a
+    /// pure function of its inbound stream — the contract the
+    /// hybrid-fidelity engine replays.
+    next_key: u64,
 }
 
 impl MeasurementPeer {
@@ -203,7 +205,14 @@ impl MeasurementPeer {
             pending: Vec::with_capacity(RECORD_FLUSH_CHUNK),
             pending_wire: Vec::with_capacity(RECORD_FLUSH_CHUNK),
             next_sid: 0,
+            next_key: 0,
         }
+    }
+
+    fn take_key(&mut self) -> u64 {
+        let k = self.next_key;
+        self.next_key += 1;
+        k
     }
 
     /// Current live connection count.
@@ -272,7 +281,26 @@ impl MeasurementPeer {
     }
 
     fn send_message(&mut self, ctx: &mut Context<'_, NetMsg>, to: NodeId, msg: Message) {
-        ctx.send(to, self.cfg.transport.frame(msg), &self.cfg.latency);
+        let frame = self.cfg.transport.frame(msg);
+        self.send_net(ctx, to, frame);
+    }
+
+    fn send_net(&mut self, ctx: &mut Context<'_, NetMsg>, to: NodeId, msg: NetMsg) {
+        let d = self.cfg.latency.sample(&mut self.rng);
+        let key = self.take_key();
+        let lane = ctx.id().0;
+        ctx.send_after_keyed(to, msg, d, lane, key);
+    }
+
+    fn arm_idle_timer(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg>,
+        delay: simnet::SimDuration,
+        tag: u64,
+    ) {
+        let key = self.take_key();
+        let lane = ctx.id().0;
+        ctx.set_timer_keyed(delay, tag, lane, key);
     }
 
     fn handle_gnutella(
@@ -309,15 +337,23 @@ impl MeasurementPeer {
                     // (ordered by NodeId) without a temporary Vec.
                     if let Some(fwd) = msg.forwarded() {
                         let transport = self.cfg.transport;
-                        let latency = self.cfg.latency;
+                        let fanout = self.cfg.forward_fanout;
+                        let lane = ctx.id().0;
                         let mut sent = 0u64;
-                        for t in self
-                            .conns
-                            .ids()
-                            .filter(|&n| n != from)
-                            .take(self.cfg.forward_fanout)
-                        {
-                            ctx.send(t, transport.frame(fwd.clone()), &latency);
+                        // Targets are streamed off the connection map
+                        // (ordered by NodeId) without a temporary Vec;
+                        // indexed iteration lets each send draw its own
+                        // latency and schedule key.
+                        let mut idx = 0;
+                        while idx < self.conns.entries.len() && (sent as usize) < fanout {
+                            let t = self.conns.entries[idx].0;
+                            idx += 1;
+                            if t == from {
+                                continue;
+                            }
+                            let d = self.cfg.latency.sample(&mut self.rng);
+                            let key = self.take_key();
+                            ctx.send_after_keyed(t, transport.frame(fwd.clone()), d, lane, key);
                             sent += 1;
                         }
                         self.counters.forwarded_queries += sent;
@@ -363,22 +399,14 @@ impl Actor for MeasurementPeer {
             NetMsg::Connect { addr, handshake } => {
                 if self.conns.len() >= self.cfg.max_connections {
                     self.counters.rejected_busy += 1;
-                    ctx.send(
-                        from,
-                        NetMsg::ConnectReply(HandshakeResponse::Busy),
-                        &self.cfg.latency,
-                    );
+                    self.send_net(ctx, from, NetMsg::ConnectReply(HandshakeResponse::Busy));
                     return;
                 }
                 let parsed = match Handshake::parse(&handshake) {
                     Ok(h) => h,
                     Err(_) => {
                         self.counters.rejected_bad_handshake += 1;
-                        ctx.send(
-                            from,
-                            NetMsg::ConnectReply(HandshakeResponse::Busy),
-                            &self.cfg.latency,
-                        );
+                        self.send_net(ctx, from, NetMsg::ConnectReply(HandshakeResponse::Busy));
                         return;
                     }
                 };
@@ -401,13 +429,9 @@ impl Actor for MeasurementPeer {
                         idle: IdleTracker::new(now),
                     },
                 );
-                ctx.send(
-                    from,
-                    NetMsg::ConnectReply(HandshakeResponse::Accept),
-                    &self.cfg.latency,
-                );
+                self.send_net(ctx, from, NetMsg::ConnectReply(HandshakeResponse::Accept));
                 // Arm the idle-check chain for this connection.
-                ctx.set_timer(gnutella::peerlink::IDLE_PROBE_AFTER, u64::from(from.0));
+                self.arm_idle_timer(ctx, gnutella::peerlink::IDLE_PROBE_AFTER, u64::from(from.0));
             }
             NetMsg::ConnectReply(_) => {
                 // The measurement peer never dials out; ignore.
@@ -452,17 +476,17 @@ impl Actor for MeasurementPeer {
         };
         match action {
             IdleAction::CheckAt(deadline) => {
-                ctx.set_timer(deadline - now, tag);
+                self.arm_idle_timer(ctx, deadline - now, tag);
             }
             IdleAction::SendProbe(deadline) => {
                 let ping =
                     Message::originate(Guid::random(&mut self.rng), Payload::Ping).first_hop();
                 self.send_message(ctx, node, ping);
                 self.counters.probes_sent += 1;
-                ctx.set_timer(deadline - now, tag);
+                self.arm_idle_timer(ctx, deadline - now, tag);
             }
             IdleAction::Close => {
-                ctx.send(node, NetMsg::Disconnect, &self.cfg.latency);
+                self.send_net(ctx, node, NetMsg::Disconnect);
                 self.finalize(node, now, true);
             }
         }

@@ -501,6 +501,27 @@ pub mod helpers {
         }
     }
 
+    /// Read a `#[serde(default)]` struct field: a missing key yields
+    /// `T::default()` instead of an error, so added fields stay
+    /// backward-compatible with previously serialized data.
+    pub fn field_or_default<T: Deserialize + Default>(
+        v: &Value,
+        struct_name: &str,
+        name: &str,
+    ) -> Result<T, Error> {
+        match v {
+            Value::Object(_) => match v.get(name) {
+                Some(inner) => T::from_value(inner)
+                    .map_err(|e| Error::msg(format!("{struct_name}.{name}: {e}"))),
+                None => Ok(T::default()),
+            },
+            _ => Err(Error::msg(format!(
+                "{struct_name}: expected object, found {}",
+                v.type_name()
+            ))),
+        }
+    }
+
     /// Convert a `CamelCase` identifier to `snake_case` (the only
     /// `rename_all` rule used in this workspace).
     pub fn to_snake_case(name: &str) -> String {

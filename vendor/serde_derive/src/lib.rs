@@ -10,6 +10,8 @@
 //! * enums with unit, newtype, tuple, and struct variants
 //! * plain type parameters (`struct Foo<B, T> { .. }`)
 //! * `#[serde(skip)]` on named fields (skipped on write, `Default` on read)
+//! * `#[serde(default)]` on named fields (written normally, `Default` on
+//!   read when the key is missing — keeps added fields backward-compatible)
 //! * `#[serde(tag = "..", rename_all = "snake_case")]` internal tagging on
 //!   enums whose variants are unit or newtype-of-struct
 //!
@@ -26,6 +28,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 enum VariantKind {
@@ -115,6 +118,7 @@ impl Cursor {
 #[derive(Default)]
 struct SerdeAttrs {
     skip: bool,
+    default: bool,
     tag: Option<String>,
     rename_all_snake: bool,
 }
@@ -149,6 +153,7 @@ fn parse_attrs(c: &mut Cursor) -> SerdeAttrs {
             };
             match word.as_str() {
                 "skip" => out.skip = true,
+                "default" => out.default = true,
                 "tag" => {
                     assert!(a.eat_punct('='), "serde_derive: expected `tag = \"..\"`");
                     out.tag = Some(expect_str_literal(&mut a));
@@ -241,6 +246,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         out.push(Field {
             name,
             skip: attrs.skip,
+            default: attrs.default,
         });
     }
     out
@@ -541,6 +547,11 @@ fn gen_deserialize(item: &Item) -> String {
             for f in fields {
                 if f.skip {
                     s.push_str(&format!("{n}: Default::default(),\n", n = f.name));
+                } else if f.default {
+                    s.push_str(&format!(
+                        "{n}: ::serde::helpers::field_or_default(v, \"{name}\", \"{n}\")?,\n",
+                        n = f.name
+                    ));
                 } else {
                     s.push_str(&format!(
                         "{n}: ::serde::helpers::field(v, \"{name}\", \"{n}\")?,\n",
@@ -591,6 +602,11 @@ fn gen_deserialize(item: &Item) -> String {
                                 if f.skip {
                                     inner.push_str(&format!(
                                         "{n}: Default::default(),\n",
+                                        n = f.name
+                                    ));
+                                } else if f.default {
+                                    inner.push_str(&format!(
+                                        "{n}: ::serde::helpers::field_or_default(v, \"{name}\", \"{n}\")?,\n",
                                         n = f.name
                                     ));
                                 } else {
@@ -661,6 +677,11 @@ fn gen_deserialize(item: &Item) -> String {
                                 if f.skip {
                                     arm.push_str(&format!(
                                         "{n}: Default::default(),\n",
+                                        n = f.name
+                                    ));
+                                } else if f.default {
+                                    arm.push_str(&format!(
+                                        "{n}: ::serde::helpers::field_or_default(inner, \"{name}\", \"{n}\")?,\n",
                                         n = f.name
                                     ));
                                 } else {
