@@ -20,7 +20,11 @@
 //! * [`streaming`] — the online form of the pipeline: a [`trace::TraceSink`]
 //!   that filters each session the moment it closes and folds it into
 //!   incremental aggregates, so campaigns run without materializing the
-//!   message trace.
+//!   message trace;
+//! * [`columnar`] — the vectorized retained-mode path: one fused pass
+//!   over the chunked trace store that decodes each sealed chunk once,
+//!   producing the filtered trace and the popularity observations
+//!   together.
 //!
 //! The pipeline's input is a [`trace::Trace`]; region resolution uses the
 //! same [`geoip::GeoDb`] the generator allocated addresses from, exactly
@@ -30,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod characterize;
+pub mod columnar;
 pub mod correlations;
 pub mod filter;
 pub mod hitrate;
@@ -38,5 +43,6 @@ pub mod popularity;
 pub mod representative;
 pub mod streaming;
 
+pub use columnar::{analyze_retained, RetainedAnalysis};
 pub use filter::{apply_filters, FilterReport, FilteredQuery, FilteredSession, FilteredTrace};
 pub use streaming::{StreamingPipeline, StreamingResult};

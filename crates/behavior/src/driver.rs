@@ -334,8 +334,10 @@ fn run_shard(
 /// Pre-reservation estimate for a retained trace: expected connections
 /// plus slack, and a message volume estimate (relay + keepalive traffic
 /// dominates; ~tens of messages per session at default rates).
-/// Reallocation in the record hot path is what this avoids;
-/// over-estimates just waste a little memory briefly.
+/// Reallocation in the record hot path is what this avoids. The message
+/// estimate no longer pins memory: the chunked store caps its flat tail
+/// at one chunk and keeps the rest compressed, so an over-estimate costs
+/// a chunk-directory reservation, not gigabytes of columns.
 fn retained_trace_for(sessions_per_day: f64, days: f64) -> Arc<parking_lot::Mutex<Trace>> {
     let expected_sessions = (sessions_per_day * days * 1.3) as usize + 64;
     Arc::new(parking_lot::Mutex::new(Trace::with_capacity(
@@ -346,6 +348,11 @@ fn retained_trace_for(sessions_per_day: f64, days: f64) -> Arc<parking_lot::Mute
 
 /// Take a trace back out of the shared handle after its campaign ended.
 fn unwrap_trace(trace: Arc<parking_lot::Mutex<Trace>>) -> Trace {
+    // Drop decode/seal scratch and dead tail capacity first: when
+    // another handle is still alive the fallback below deep-clones, and
+    // the scratch would be copied into the snapshot, inflating retained
+    // RSS (mirror of the PR 1 `drop(sim)`-before-unwrap teardown fix).
+    trace.lock().compact();
     Arc::try_unwrap(trace)
         .map(parking_lot::Mutex::into_inner)
         .unwrap_or_else(|arc| arc.lock().clone())
@@ -614,26 +621,28 @@ fn merge_shard_traces(shards: Vec<Trace>) -> Trace {
     // K-way merge of the per-shard columns (each already arrival-ordered)
     // into `(arrival, shard)` order: strict `<` with shards scanned in
     // index order makes the earliest shard win ties, matching the old
-    // stable sort by `(at, shard)` bit for bit.
+    // stable sort by `(at, shard)` bit for bit. Sequential cursors decode
+    // each sealed source chunk exactly once into cursor-local scratch;
+    // the merged store re-seals (and re-spills) as it fills, so peak
+    // memory is the shard chunks plus one open chunk per side.
     let mut messages = trace::MessageColumns::with_capacity(n_msgs);
-    let mut cursors = vec![0usize; msg_lists.len()];
+    let mut cursors: Vec<trace::MessageCursor<'_>> =
+        msg_lists.iter().map(|list| list.cursor()).collect();
     loop {
         let mut best: Option<(simnet::SimTime, usize)> = None;
-        for (shard, list) in msg_lists.iter().enumerate() {
-            if cursors[shard] < list.len() {
-                let t = list.time_at(cursors[shard]);
+        for (shard, cur) in cursors.iter_mut().enumerate() {
+            if let Some(t) = cur.peek_time() {
                 if best.is_none_or(|(bt, _)| t < bt) {
                     best = Some((t, shard));
                 }
             }
         }
         let Some((_, shard)) = best else { break };
-        let i = cursors[shard];
-        cursors[shard] += 1;
-        let mut m = msg_lists[shard].get(i);
+        let (mut m, wire) = cursors[shard].next_with_wire().expect("peeked row exists");
         m.session = trace::SessionId(remap[shard][m.session.0 as usize]);
-        messages.push_with_wire(m, msg_lists[shard].wire_len(i));
+        messages.push_with_wire(m, wire);
     }
+    drop(cursors);
 
     Trace {
         connections,

@@ -57,9 +57,8 @@
 //! actually ran on distinct cores — otherwise it is `null`.
 
 use analysis::characterize::histograms::SessionHistograms;
-use analysis::filter::apply_filters;
+use analysis::columnar::analyze_retained;
 use analysis::load::query_load_by_time;
-use analysis::popularity::DailyObservations;
 use analysis::streaming::{finish_shards, shard_pipelines};
 use behavior::{
     run_population_sharded_into, run_population_sharded_with_stats, shard_worker_threads,
@@ -179,6 +178,20 @@ struct PerfRun {
     /// bytes. Reset via `/proc/self/clear_refs` before each repetition
     /// where permitted; 0 when `/proc` is unavailable.
     peak_rss_bytes: u64,
+    /// Raw column bytes divided by encoded bytes across the merged
+    /// trace's sealed chunks. `null` in streaming mode and when the
+    /// trace is too small to seal a chunk.
+    #[serde(default)]
+    chunk_compression_ratio: Option<f64>,
+    /// Encoded bytes of sealed chunks resident in memory (spilled
+    /// chunks excluded). 0 in streaming mode.
+    #[serde(default)]
+    retained_chunk_bytes: u64,
+    /// Encoded bytes the merged trace's store appended to its
+    /// `P2PQ_TRACE_SPILL` file. 0 without spill (and in streaming mode,
+    /// where no trace exists to spill).
+    #[serde(default)]
+    spill_bytes_written: u64,
 }
 
 /// The whole report, one JSON object.
@@ -348,6 +361,9 @@ struct RepResult {
     wire_bytes: u64,
     peak_trace_bytes: u64,
     fingerprint: u64,
+    chunk_compression_ratio: Option<f64>,
+    retained_chunk_bytes: u64,
+    spill_bytes_written: u64,
 }
 
 fn run_retain_rep(cfg: &PopulationConfig, shards: usize, db: &GeoDb) -> RepResult {
@@ -357,8 +373,9 @@ fn run_retain_rep(cfg: &PopulationConfig, shards: usize, db: &GeoDb) -> RepResul
     let peak_trace_bytes = trace.mem_bytes();
 
     let t1 = Instant::now();
-    let ft = apply_filters(&trace, db);
-    let obs = DailyObservations::collect(&ft);
+    // Fused columnar pass: filter + popularity in one decode sweep.
+    let r = analyze_retained(&trace, db);
+    let (ft, obs) = (r.ft, r.obs);
     let hist = SessionHistograms::from_filtered(&ft);
     let mut load_total = 0u64;
     for region in Region::CHARACTERIZED {
@@ -381,6 +398,9 @@ fn run_retain_rep(cfg: &PopulationConfig, shards: usize, db: &GeoDb) -> RepResul
         wire_bytes: trace.wire_bytes,
         peak_trace_bytes,
         fingerprint,
+        chunk_compression_ratio: trace.messages.compression_ratio(),
+        retained_chunk_bytes: trace.messages.retained_chunk_bytes(),
+        spill_bytes_written: trace.messages.spill_bytes_written(),
     }
 }
 
@@ -410,6 +430,9 @@ fn run_streaming_rep(cfg: &PopulationConfig, shards: usize, db: &GeoDb) -> RepRe
             r.wire_bytes,
             r.ft.report.final_sessions,
         ),
+        chunk_compression_ratio: None,
+        retained_chunk_bytes: 0,
+        spill_bytes_written: 0,
     }
 }
 
@@ -452,8 +475,17 @@ fn time_one(
         campaign_runs.push(r.campaign_secs);
         analysis_runs.push(r.analysis_secs);
         total_runs.push(r.campaign_secs + r.analysis_secs);
+        let chunk_note = match r.chunk_compression_ratio {
+            Some(ratio) => format!(
+                ", chunks {:.2}x ({:.1} MiB resident, {:.1} MiB spilled)",
+                ratio,
+                r.retained_chunk_bytes as f64 / (1024.0 * 1024.0),
+                r.spill_bytes_written as f64 / (1024.0 * 1024.0)
+            ),
+            None => String::new(),
+        };
         eprintln!(
-            "[perf]   rep {}: campaign {:.2}s, analysis {:.2}s, trace {:.1} MiB",
+            "[perf]   rep {}: campaign {:.2}s, analysis {:.2}s, trace {:.1} MiB{chunk_note}",
             rep + 1,
             r.campaign_secs,
             r.analysis_secs,
@@ -531,6 +563,9 @@ fn time_one(
         wire_bytes: last.wire_bytes,
         peak_trace_bytes,
         peak_rss_bytes,
+        chunk_compression_ratio: last.chunk_compression_ratio,
+        retained_chunk_bytes: last.retained_chunk_bytes,
+        spill_bytes_written: last.spill_bytes_written,
     }
 }
 

@@ -14,7 +14,8 @@
 pub mod experiments;
 pub mod render;
 
-use analysis::filter::{apply_filters, FilteredTrace};
+use analysis::columnar::analyze_retained;
+use analysis::filter::FilteredTrace;
 use analysis::popularity::DailyObservations;
 use behavior::{run_population, PopulationConfig};
 use geoip::{DiurnalModel, GeoDb};
@@ -126,8 +127,10 @@ impl ExperimentContext {
         let t0 = std::time::Instant::now();
         let trace = run_population(&cfg);
         let db = GeoDb::synthetic();
-        let ft = apply_filters(&trace, &db);
-        let obs = DailyObservations::collect(&ft);
+        // Fused columnar pass: filter + popularity decode each sealed
+        // trace chunk once.
+        let r = analyze_retained(&trace, &db);
+        let (ft, obs) = (r.ft, r.obs);
         eprintln!(
             "[bench] context ready in {:.1?}: {} connections, {} filtered sessions",
             t0.elapsed(),

@@ -222,6 +222,16 @@ impl QueryId {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Reconstruct a handle from a value previously obtained via
+    /// [`QueryId::raw`] **in this process**. The interner is the
+    /// dictionary the columnar trace chunks code query text against:
+    /// a chunk stores the raw u32 and rebuilds the handle on decode.
+    /// Feeding an id that never came out of this process's interner
+    /// produces a handle whose `resolve` will panic.
+    pub fn from_raw(raw: u32) -> QueryId {
+        QueryId(raw)
+    }
 }
 
 impl Default for QueryId {

@@ -153,6 +153,10 @@ pub struct CollectorCounters {
 /// Chunked draining amortizes the trace lock to one acquisition per ~8k
 /// messages in the worst case (no session closing for a long stretch);
 /// in a normal campaign session closes drain the buffer far earlier.
+/// A power-of-two divisor of the store's compressed-chunk size
+/// (`trace::store::CHUNK_ROWS` = 8 × this), so retained-mode chunk
+/// seals happen at drain boundaries, inside the batch append, never
+/// mid-record.
 const RECORD_FLUSH_CHUNK: usize = 8_192;
 
 /// The measurement ultrapeer actor.

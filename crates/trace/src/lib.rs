@@ -10,7 +10,9 @@
 //!   policy, and logs every received message;
 //! * [`record`] — the trace record types (connections and messages);
 //! * [`store::Trace`] — in-memory trace with JSONL (de)serialization,
-//!   backed by the columnar [`store::MessageColumns`];
+//!   backed by the columnar [`store::MessageColumns`] (sealed
+//!   per-column-compressed chunks + flat tail, optional disk spill via
+//!   `P2PQ_TRACE_SPILL` — codec in [`chunk`]);
 //! * [`sink`] — the streaming consumer API: the collector delivers its
 //!   record stream to any [`sink::TraceSink`], so campaigns can retain
 //!   the full trace, fold it into online aggregates, or both;
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chunk;
 pub mod collector;
 pub mod record;
 pub mod session;
@@ -28,9 +31,10 @@ pub mod sink;
 pub mod stats;
 pub mod store;
 
+pub use chunk::ChunkBatch;
 pub use collector::{CollectorConfig, MeasurementPeer};
 pub use record::{ConnectionRecord, MessageRecord, RecordedPayload, SessionId};
 pub use session::{QueryObs, SessionView, Sessions};
 pub use sink::{Fanout, SharedSink, TraceSink};
 pub use stats::TraceStats;
-pub use store::{MessageColumns, MsgKind, Trace};
+pub use store::{MessageColumns, MessageCursor, MsgKind, Trace, CHUNK_ROWS};

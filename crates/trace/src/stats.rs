@@ -36,23 +36,29 @@ impl TraceStats {
         for c in &trace.connections {
             last_ms = last_ms.max(c.end.unwrap_or(c.start).as_millis());
         }
-        // Columnar pass: only the at/kind/hops columns are touched.
-        let m = &trace.messages;
-        for i in 0..m.len() {
-            last_ms = last_ms.max(m.time_at(i).as_millis());
-            match m.kind_at(i) {
-                MsgKind::Query => {
-                    s.query_messages += 1;
-                    if m.hops_at(i) == 1 {
-                        s.hop1_queries += 1;
-                    }
-                }
-                MsgKind::QueryHit => s.queryhit_messages += 1,
-                MsgKind::Ping => s.ping_messages += 1,
-                MsgKind::Pong => s.pong_messages += 1,
-                MsgKind::Bye => {}
+        // Chunk-at-a-time columnar pass: each decoded batch is counted
+        // with branch-light per-column loops (a 5-bucket histogram over
+        // the kind column, a fused compare-and-sum for hop-1 queries, a
+        // max-reduce over the timestamps) instead of a per-row match —
+        // the loops autovectorize and each sealed chunk is decoded once.
+        let mut kind_counts = [0u64; 5];
+        trace.messages.for_each_batch(|b| {
+            for &k in &b.kind {
+                kind_counts[k as usize] += 1;
             }
-        }
+            let query = MsgKind::Query as u8;
+            s.hop1_queries += b
+                .kind
+                .iter()
+                .zip(&b.hops)
+                .map(|(&k, &h)| u64::from(k == query && h == 1))
+                .sum::<u64>();
+            last_ms = last_ms.max(b.at_ms.iter().copied().max().unwrap_or(0));
+        });
+        s.ping_messages = kind_counts[MsgKind::Ping as usize];
+        s.pong_messages = kind_counts[MsgKind::Pong as usize];
+        s.query_messages = kind_counts[MsgKind::Query as usize];
+        s.queryhit_messages = kind_counts[MsgKind::QueryHit as usize];
         s.trace_days = last_ms.div_ceil(24 * 3600 * 1000);
         s
     }

@@ -84,8 +84,115 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
         })
 }
 
+/// Adversarial message columns for the chunk codec: tied timestamps,
+/// saturated hops/TTL, raw (non-collector) GUIDs, query texts interned
+/// fresh per case, and extreme PONG counters.
+fn arb_adversarial_records() -> impl Strategy<Value = Vec<MessageRecord>> {
+    let payload = prop_oneof![
+        Just(RecordedPayload::Ping),
+        Just(RecordedPayload::Bye),
+        (
+            any::<[u8; 4]>(),
+            prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()]
+        )
+            .prop_map(|(ip, files)| RecordedPayload::Pong {
+                addr: ip.into(),
+                shared_files: files,
+            }),
+        ("[a-z0-9 ]{0,24}", any::<u32>(), any::<bool>()).prop_map(|(text, salt, sha1)| {
+            // Salted text: most cases intern a QueryId no chunk has
+            // dictionary-coded before.
+            RecordedPayload::Query {
+                text: format!("{text} {salt}").as_str().into(),
+                sha1,
+            }
+        }),
+        (any::<[u8; 4]>(), any::<u8>()).prop_map(|(ip, results)| RecordedPayload::QueryHit {
+            addr: ip.into(),
+            results,
+        }),
+    ];
+    proptest::collection::vec(
+        (
+            any::<[u8; 16]>(),
+            prop_oneof![Just(0u8), Just(1u8), Just(255u8), any::<u8>()],
+            prop_oneof![Just(0u8), Just(255u8), any::<u8>()],
+            // Times from a tiny set → runs of exact ties (width-0 packs).
+            prop_oneof![Just(0u64), Just(1u64), Just(86_400_000u64), 0u64..50],
+            payload,
+            any::<u32>(),
+        ),
+        0..120,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(
+                |(i, (guid, hops, ttl, at_ms, payload, _wire))| MessageRecord {
+                    session: SessionId(i as u64 % 7),
+                    guid: Guid(guid),
+                    at: SimTime::from_millis(at_ms),
+                    hops,
+                    ttl,
+                    payload,
+                },
+            )
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// The chunked store must agree with the flat (never-sealing) store
+    /// on every access path, for any chunk size, with and without disk
+    /// spill, under adversarial column values.
+    #[test]
+    fn chunked_store_matches_flat_on_adversarial_columns(
+        records in arb_adversarial_records(),
+        chunk_rows in 1usize..40,
+        spill in any::<bool>(),
+    ) {
+        let wire_lens: Vec<u32> = (0..records.len()).map(|i| 23 + i as u32).collect();
+        let mut flat = trace::MessageColumns::new();
+        let mut chunked = trace::MessageColumns::new();
+        let spill_dir = if spill {
+            let dir = std::env::temp_dir().join("p2pq-prop-spill");
+            std::fs::create_dir_all(&dir).unwrap();
+            Some(dir)
+        } else {
+            None
+        };
+        chunked.configure_chunks(chunk_rows, spill_dir);
+        flat.push_batch(&records, &wire_lens);
+        chunked.push_batch(&records, &wire_lens);
+
+        prop_assert_eq!(&chunked, &flat);
+        prop_assert_eq!(chunked.len(), records.len());
+        // Sequential decode matches the records pushed.
+        let decoded: Vec<MessageRecord> = chunked.iter().collect();
+        prop_assert_eq!(&decoded, &records);
+        // Random access in reverse order (cache-hostile) agrees too.
+        for i in (0..records.len()).rev() {
+            prop_assert_eq!(chunked.get(i), records[i].clone());
+            prop_assert_eq!(chunked.wire_len(i), wire_lens[i]);
+        }
+        // The selective query scan sees exactly the one-hop queries.
+        let mut seen = Vec::new();
+        chunked.for_each_one_hop_query(|sid, at, text, sha1| {
+            seen.push((sid, at, text, sha1));
+        });
+        let expected: Vec<_> = records
+            .iter()
+            .filter_map(|m| match m.payload {
+                RecordedPayload::Query { text, sha1 } if m.hops == 1 => {
+                    Some((m.session, m.at, text, sha1))
+                }
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(seen, expected);
+    }
 
     #[test]
     fn jsonl_round_trip(trace in arb_trace()) {
