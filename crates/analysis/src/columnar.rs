@@ -41,18 +41,23 @@ pub struct RetainedAnalysis {
 /// connection order and queries arrive in trace (arrival) order, which
 /// is exactly the order [`trace::Sessions::from_trace`] produces.
 pub fn analyze_retained(trace: &Trace, db: &GeoDb) -> RetainedAnalysis {
+    telemetry::scope!("analysis/retained");
     // Pass 1: per-session one-hop query lists from the selective scan.
     let mut queries: Vec<Vec<QueryObs>> = vec![Vec::new(); trace.connections.len()];
-    trace
-        .messages
-        .for_each_one_hop_query(|sid, at, text, sha1| {
-            if let Some(v) = queries.get_mut(sid.0 as usize) {
-                v.push(QueryObs { at, text, sha1 });
-            }
-        });
+    {
+        telemetry::scope!("scan");
+        trace
+            .messages
+            .for_each_one_hop_query(|sid, at, text, sha1| {
+                if let Some(v) = queries.get_mut(sid.0 as usize) {
+                    v.push(QueryObs { at, text, sha1 });
+                }
+            });
+    }
 
     // Pass 2 (over connections, not messages): filter each completed
     // session and fold survivors into the observations as they appear.
+    telemetry::scope!("fold");
     let mut report = FilterReport::default();
     let mut sessions = Vec::new();
     let mut obs = DailyObservations::default();

@@ -185,6 +185,9 @@ impl TraceSink for StreamingPipeline {
     }
 
     fn on_batch(&mut self, records: &[MessageRecord], wire_lens: &[u32]) {
+        // Called from the collector's drain, so this lands at
+        // `campaign/run/drain/analyze` in the stage tree.
+        telemetry::scope!("analyze");
         self.messages_seen += records.len() as u64;
         self.wire_bytes += wire_lens.iter().map(|&w| u64::from(w)).sum::<u64>();
         for rec in records {
@@ -250,6 +253,7 @@ impl StreamingResult {
     /// bit-identical to the batch pipeline's. Aggregates merge by
     /// summation; `peak_bytes` sums because the shards ran concurrently.
     pub fn merge(shards: Vec<StreamingResult>) -> StreamingResult {
+        telemetry::scope!("merge");
         let mut it = shards.into_iter();
         let mut out = it.next().expect("at least one shard result");
         for s in it {
@@ -288,6 +292,7 @@ pub fn shard_pipelines(
 /// Unwrap the per-shard pipelines after the campaign and merge their
 /// results. Panics if a pipeline is still shared.
 pub fn finish_shards(sinks: Vec<Arc<Mutex<StreamingPipeline>>>) -> StreamingResult {
+    telemetry::scope!("analysis/finish");
     StreamingResult::merge(
         sinks
             .into_iter()

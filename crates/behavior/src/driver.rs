@@ -19,6 +19,7 @@ use simnet::{Actor, Context, LatencyModel, NodeId, SimDuration, SimTime, Simulat
 use stats::rng::SeedSequence;
 use std::collections::VecDeque;
 use std::sync::{Arc, Barrier};
+use telemetry::{Counter, Gauge, Registry, Snapshot};
 use trace::{CollectorConfig, MeasurementPeer, SharedSink, Trace};
 
 /// Simulation fidelity of a campaign.
@@ -127,6 +128,13 @@ pub struct CampaignStats {
     /// events (zero for full fidelity).
     #[serde(default)]
     pub hybrid_modeled_msgs: u64,
+    /// Merged telemetry counters across shards: each shard's registry
+    /// snapshot plus its engine-level quantities, folded at the same
+    /// canonical join that merges traces ([`Snapshot::merge`] is
+    /// associative and commutative, so the totals are independent of
+    /// shard count for per-shard quantities and of join order always).
+    #[serde(default)]
+    pub telemetry: Snapshot,
 }
 
 impl CampaignStats {
@@ -139,6 +147,17 @@ impl CampaignStats {
         self.spawned += s.sim.spawned;
         self.hybrid_elided_msgs += s.elided_msgs;
         self.hybrid_modeled_msgs += s.modeled_msgs;
+        // Fold the engine's plain counters into the shard snapshot, then
+        // merge — the one place engine statistics and registry counters
+        // meet, for either fidelity.
+        let mut t = s.telemetry;
+        t.add_counter(Counter::EventsPopped, s.sim.events_popped);
+        t.add_counter(Counter::HeapSpills, s.sim.heap_spills);
+        t.add_counter(Counter::HeapMigrations, s.sim.heap_migrations);
+        t.add_counter(Counter::HybridElided, s.elided_msgs);
+        t.add_counter(Counter::HybridModeled, s.modeled_msgs);
+        t.max_gauge(Gauge::PeakQueueLen, s.sim.peak_queue_len);
+        self.telemetry.merge(&t);
     }
 }
 
@@ -221,7 +240,10 @@ fn build_vocabulary(cfg: &PopulationConfig, seq: &SeedSequence) -> Vocabulary {
 /// A resumable shard simulation: either fidelity, runnable in epochs so
 /// the work-stealing pool can interleave many shards on few threads.
 enum ShardEngine {
-    Full { sim: Box<Simulator<NetMsg>> },
+    Full {
+        sim: Box<Simulator<NetMsg>>,
+        registry: Arc<Registry>,
+    },
     Hybrid(Box<HybridShard>),
 }
 
@@ -229,7 +251,7 @@ impl ShardEngine {
     /// Advance the shard's virtual clock to `until` (inclusive).
     fn run_until(&mut self, until: SimTime) {
         match self {
-            ShardEngine::Full { sim } => sim.run_until(until),
+            ShardEngine::Full { sim, .. } => sim.run_until(until),
             ShardEngine::Hybrid(shard) => shard.run_until(until),
         }
     }
@@ -237,16 +259,18 @@ impl ShardEngine {
     /// Finish the shard: flush its sink and report statistics.
     fn finish(self) -> ShardOutcome {
         match self {
-            ShardEngine::Full { sim } => {
+            ShardEngine::Full { sim, registry } => {
                 let stats = sim.stats();
                 // Dropping the simulator drops the measurement peer, which
                 // flushes the collector's pending record buffer into the
-                // sink — after this the sink has seen the complete stream.
+                // sink — after this the sink has seen the complete stream
+                // (and the registry its final sink counters).
                 drop(sim);
                 ShardOutcome {
                     sim: stats,
                     elided_msgs: 0,
                     modeled_msgs: 0,
+                    telemetry: registry.snapshot(),
                 }
             }
             ShardEngine::Hybrid(shard) => shard.finish(),
@@ -267,8 +291,11 @@ fn build_shard(
 ) -> (ShardEngine, SimTime) {
     let end = SimTime::from_secs_f64(cfg.days * 86_400.0);
     let horizon = end + SimDuration::from_hours(2);
+    // One registry per shard: single-writer relaxed atomics on the hot
+    // path, snapshotted at shard finish and merged in `absorb`.
+    let registry = Arc::new(Registry::new());
     if cfg.fidelity == Fidelity::Hybrid {
-        let shard = HybridShard::new(cfg, vocab, seq, sessions_per_day, sink);
+        let shard = HybridShard::new(cfg, vocab, seq, sessions_per_day, sink, registry);
         return (ShardEngine::Hybrid(Box::new(shard)), horizon);
     }
     let planner = SessionPlanner::paper_default(vocab.clone());
@@ -299,7 +326,11 @@ fn build_shard(
         transport: cfg.transport,
         ..CollectorConfig::default()
     };
-    let server = sim.add_node(Box::new(MeasurementPeer::with_sink(collector_cfg, sink)));
+    let server = sim.add_node(Box::new(MeasurementPeer::with_sink_and_registry(
+        collector_cfg,
+        sink,
+        Arc::clone(&registry),
+    )));
 
     let driver = PopulationDriver {
         server,
@@ -312,7 +343,7 @@ fn build_shard(
         rng: seq.rng("arrivals"),
     };
     sim.add_node(Box::new(driver));
-    (ShardEngine::Full { sim }, horizon)
+    (ShardEngine::Full { sim, registry }, horizon)
 }
 
 /// Run one simulator campaign at `sessions_per_day`, deriving every
@@ -326,8 +357,15 @@ fn run_shard(
     sessions_per_day: f64,
     sink: SharedSink,
 ) -> ShardOutcome {
-    let (mut engine, horizon) = build_shard(cfg, vocab, seq, sessions_per_day, sink);
-    engine.run_until(horizon);
+    let (mut engine, horizon) = {
+        telemetry::scope!("build");
+        build_shard(cfg, vocab, seq, sessions_per_day, sink)
+    };
+    {
+        telemetry::scope!("run");
+        engine.run_until(horizon);
+    }
+    telemetry::scope!("finish");
     engine.finish()
 }
 
@@ -375,8 +413,12 @@ pub fn run_population_with_stats(cfg: &PopulationConfig) -> (Trace, CampaignStat
 /// sink the full trace is never held in memory; with a `Trace` sink this
 /// is exactly [`run_population_with_stats`].
 pub fn run_population_into(cfg: &PopulationConfig, sink: SharedSink) -> CampaignStats {
+    telemetry::scope!("campaign");
     let seq = SeedSequence::new(cfg.seed);
-    let vocab = Arc::new(build_vocabulary(cfg, &seq));
+    let vocab = {
+        telemetry::scope!("build");
+        Arc::new(build_vocabulary(cfg, &seq))
+    };
     let outcome = run_shard(cfg, vocab, seq, cfg.sessions_per_day, sink);
     let mut stats = CampaignStats::default();
     stats.absorb(&outcome);
@@ -448,30 +490,34 @@ pub fn run_population_sharded_into(
         cfg.max_connections,
         n_shards
     );
+    telemetry::scope!("campaign");
     let seq = SeedSequence::new(cfg.seed);
-    let vocab = Arc::new(build_vocabulary(cfg, &seq));
     let rate = cfg.sessions_per_day / n_shards as f64;
 
     // Build every shard engine up front (cheap: no events run yet). The
     // per-shard admission cap splits the aggregate cap, earlier shards
     // taking the remainder.
     let mut horizon = SimTime::ZERO;
-    let engines: Vec<parking_lot::Mutex<Option<ShardEngine>>> = (0..n_shards)
-        .map(|i| {
-            let mut shard_cfg = cfg.clone();
-            shard_cfg.max_connections =
-                cfg.max_connections / n_shards + usize::from(i < cfg.max_connections % n_shards);
-            let (engine, h) = build_shard(
-                &shard_cfg,
-                Arc::clone(&vocab),
-                seq.child_indexed("shard", i as u64),
-                rate,
-                Arc::clone(&sinks[i]),
-            );
-            horizon = h;
-            parking_lot::Mutex::new(Some(engine))
-        })
-        .collect();
+    let engines: Vec<parking_lot::Mutex<Option<ShardEngine>>> = {
+        telemetry::scope!("build");
+        let vocab = Arc::new(build_vocabulary(cfg, &seq));
+        (0..n_shards)
+            .map(|i| {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.max_connections = cfg.max_connections / n_shards
+                    + usize::from(i < cfg.max_connections % n_shards);
+                let (engine, h) = build_shard(
+                    &shard_cfg,
+                    Arc::clone(&vocab),
+                    seq.child_indexed("shard", i as u64),
+                    rate,
+                    Arc::clone(&sinks[i]),
+                );
+                horizon = h;
+                parking_lot::Mutex::new(Some(engine))
+            })
+            .collect()
+    };
 
     // Epoch boundaries share one virtual clock across all shards; the
     // last boundary is exactly the horizon.
@@ -492,6 +538,12 @@ pub fn run_population_sharded_into(
             let barrier = &barrier;
             let boundaries = &boundaries;
             handles.push(scope.spawn(move || {
+                // Worker threads open the scope with an empty stack, so
+                // the name IS the full path — each worker's lifetime
+                // attributes into the main thread's `campaign` subtree.
+                // (On multi-core hosts the summed `run` time is
+                // CPU-seconds and can exceed the campaign wall time.)
+                telemetry::scope!("campaign/run");
                 for &until in boundaries {
                     // Refill the local deque with this worker's share of
                     // shard tasks, then wait for every worker to do the
@@ -524,9 +576,12 @@ pub fn run_population_sharded_into(
     });
 
     let mut stats = CampaignStats::default();
-    for cell in &engines {
-        let engine = cell.lock().take().expect("engine present");
-        stats.absorb(&engine.finish());
+    {
+        telemetry::scope!("finish");
+        for cell in &engines {
+            let engine = cell.lock().take().expect("engine present");
+            stats.absorb(&engine.finish());
+        }
     }
     stats
 }
@@ -590,6 +645,9 @@ pub fn run_population_sharded_with_stats(
 /// Merge per-shard traces into canonical `(time, shard)` order with
 /// densely renumbered session ids.
 fn merge_shard_traces(shards: Vec<Trace>) -> Trace {
+    // Runs after the campaign scope closed, so the slash name roots this
+    // directly under `campaign` in the stage tree.
+    telemetry::scope!("campaign/merge");
     let n_conns: usize = shards.iter().map(|t| t.connections.len()).sum();
     let n_msgs: usize = shards.iter().map(|t| t.messages.len()).sum();
     let wire_bytes: u64 = shards.iter().map(|t| t.wire_bytes).sum();

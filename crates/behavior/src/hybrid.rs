@@ -49,6 +49,7 @@ use simnet::{EventQueue, LatencyModel, SimDuration, SimStats, SimTime};
 use stats::rng::SeedSequence;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+use telemetry::{Counter, Hist, Registry, Snapshot};
 use trace::{
     CollectorConfig, ConnectionRecord, MessageRecord, RecordedPayload, SessionId, SharedSink,
 };
@@ -154,6 +155,9 @@ pub struct ShardOutcome {
     pub elided_msgs: u64,
     /// Peer→collector messages the hybrid engine modeled as events.
     pub modeled_msgs: u64,
+    /// The shard registry's final counter snapshot (sink-layer counters;
+    /// engine-level quantities are folded in at the campaign merge).
+    pub telemetry: Snapshot,
 }
 
 /// Local-record buffer size triggering a sink drain — matches the
@@ -202,6 +206,7 @@ pub struct HybridShard {
     pending_records: Vec<MessageRecord>,
     pending_wire: Vec<u32>,
     sink: SharedSink,
+    registry: Arc<Registry>,
 
     // Statistics.
     pops: u64,
@@ -221,6 +226,7 @@ impl HybridShard {
         seq: SeedSequence,
         sessions_per_day: f64,
         sink: SharedSink,
+        registry: Arc<Registry>,
     ) -> HybridShard {
         let planner = SessionPlanner::paper_default(vocab.clone());
         let db = GeoDb::synthetic();
@@ -258,6 +264,7 @@ impl HybridShard {
             pending_records: Vec::with_capacity(RECORD_FLUSH_CHUNK),
             pending_wire: Vec::with_capacity(RECORD_FLUSH_CHUNK),
             sink,
+            registry,
             pops: 0,
             delivered: 0,
             dropped: 0,
@@ -313,9 +320,12 @@ impl HybridShard {
                 removed: 0,
                 events_popped: self.pops,
                 peak_queue_len: self.queue.peak_len() as u64,
+                heap_spills: self.queue.far_pushed(),
+                heap_migrations: self.queue.migrated(),
             },
             elided_msgs: self.elided,
             modeled_msgs: self.modeled,
+            telemetry: self.registry.snapshot(),
         }
     }
 
@@ -428,11 +438,21 @@ impl HybridShard {
         if self.pending_records.is_empty() {
             return;
         }
+        telemetry::scope!("drain");
+        let n = self.pending_records.len() as u64;
+        let virtual_secs = self
+            .pending_records
+            .last()
+            .map_or(0.0, |r| r.at.as_secs_f64());
         self.sink
             .lock()
             .on_batch(&self.pending_records, &self.pending_wire);
         self.pending_records.clear();
         self.pending_wire.clear();
+        self.registry.incr(Counter::SinkBatches);
+        self.registry.add(Counter::SinkRecords, n);
+        self.registry.observe(Hist::SinkBatchSize, n);
+        telemetry::progress::record_batch(n, virtual_secs);
     }
 
     fn record(&mut self, sid: SessionId, at: SimTime, msg: &WireMsg) {
@@ -453,11 +473,12 @@ impl HybridShard {
     fn finalize(&mut self, node: u32, end: SimTime, by_probe: bool) {
         if let Some(i) = self.conn_index(node) {
             let (_, sid, _) = self.conns.remove(i);
-            let mut sink = self.sink.lock();
-            sink.on_batch(&self.pending_records, &self.pending_wire);
-            self.pending_records.clear();
-            self.pending_wire.clear();
-            sink.on_close(sid, end, by_probe);
+            // Drain-then-close through the one accounting point, exactly
+            // as the full collector finalizes — the sink sees identical
+            // batch boundaries, so the per-shard sink counters match
+            // across fidelities.
+            self.flush();
+            self.sink.lock().on_close(sid, end, by_probe);
         }
     }
 

@@ -54,7 +54,7 @@ fn main() {
         print!("{out}");
         println!("\n(took {took:.1?})\n");
     }
-    eprintln!(
+    telemetry::info!(
         "[bench] {} experiments in {:.1?} wall",
         reg.len(),
         t0.elapsed()

@@ -13,7 +13,7 @@ fn main() {
         return;
     }
     let Some(exp) = find(&arg) else {
-        eprintln!("unknown experiment `{arg}`; try --list");
+        telemetry::warn!("unknown experiment `{arg}`; try --list");
         std::process::exit(2);
     };
     let ctx = ExperimentContext::from_env();

@@ -67,9 +67,11 @@ use behavior::{
 use bench_support::Scale;
 use geoip::{GeoDb, Region};
 use serde::{Deserialize, Serialize};
+use serde_json::JsonValue;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+use telemetry::{stage_tree, Snapshot, StageNode};
 use trace::{RecordedPayload, SharedSink, Trace};
 
 /// Throughput regression tolerance for `--check`: fail if fresh
@@ -79,6 +81,11 @@ const CHECK_TOLERANCE: f64 = 0.7;
 /// Memory regression tolerance for `--check` at smoke scale: fail if
 /// fresh `peak_trace_bytes` exceeds this multiple of the baseline.
 const CHECK_MEM_TOLERANCE: f64 = 1.3;
+
+/// Telemetry overhead budget: both the modeled instrumentation cost and
+/// the measured profiling-on vs profiling-off campaign delta must stay
+/// below this fraction of the campaign wall time.
+const MAX_OVERHEAD_FRAC: f64 = 0.02;
 
 /// Wall times of the repeated runs of one pipeline stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -192,6 +199,12 @@ struct PerfRun {
     /// where no trace exists to spill).
     #[serde(default)]
     spill_bytes_written: u64,
+    /// Per-configuration telemetry: the last repetition's merged counter
+    /// snapshot plus the stage-attribution tree accumulated over all
+    /// repetitions of this configuration. `null` in baselines that
+    /// predate the telemetry subsystem.
+    #[serde(default)]
+    telemetry: Option<JsonValue>,
 }
 
 /// The whole report, one JSON object.
@@ -451,11 +464,15 @@ fn time_one(
 ) -> PerfRun {
     let mut cfg = scale.population();
     cfg.fidelity = fidelity;
-    eprintln!(
+    telemetry::info!(
         "[perf] {scale_name}/{mode}/{fid_name}: {} day(s) × {} sessions/day, {shards} shard(s), {reps} rep(s)…",
         cfg.days, cfg.sessions_per_day
     );
     let db = GeoDb::synthetic();
+    // Stage attribution accumulates across the repetitions of this
+    // configuration; the global registry (trace-store counters) is
+    // isolated per repetition via a before/after snapshot diff.
+    telemetry::profile::reset_stages();
 
     let mut campaign_runs = Vec::with_capacity(reps);
     let mut analysis_runs = Vec::with_capacity(reps);
@@ -463,13 +480,19 @@ fn time_one(
     let mut peak_trace_bytes = 0u64;
     let mut peak_rss_bytes = 0u64;
     let mut last: Option<RepResult> = None;
+    let mut last_telemetry = Snapshot::default();
     for rep in 0..reps {
         reset_vm_hwm();
+        let g0 = telemetry::global().snapshot();
         let r = if mode == "streaming" {
             run_streaming_rep(&cfg, shards, &db)
         } else {
             run_retain_rep(&cfg, shards, &db)
         };
+        last_telemetry = r
+            .stats
+            .telemetry
+            .merged(&telemetry::global().snapshot().since(&g0));
         peak_rss_bytes = peak_rss_bytes.max(vm_hwm_bytes());
         peak_trace_bytes = peak_trace_bytes.max(r.peak_trace_bytes);
         campaign_runs.push(r.campaign_secs);
@@ -484,7 +507,7 @@ fn time_one(
             ),
             None => String::new(),
         };
-        eprintln!(
+        telemetry::info!(
             "[perf]   rep {}: campaign {:.2}s, analysis {:.2}s, trace {:.1} MiB{chunk_note}",
             rep + 1,
             r.campaign_secs,
@@ -498,6 +521,19 @@ fn time_one(
     let analysis = Timing::of(analysis_runs);
     let total = Timing::of(total_runs);
 
+    let stages = telemetry::profile::take_stages();
+    let scope_count: u64 = stages.iter().map(|(_, s)| s.count).sum();
+    let tree = stage_tree(&stages);
+    let coverage = telemetry::profile::root_child_coverage(&tree, "campaign");
+    if !tree.is_empty() {
+        telemetry::info!(
+            "[perf]   stage attribution over {reps} rep(s), campaign child coverage {}:\n{}",
+            coverage.map_or_else(|| "n/a".to_string(), |c| format!("{:.0} %", c * 100.0)),
+            bench_support::render::stage_table(&tree).trim_end_matches('\n')
+        );
+    }
+    let run_telemetry = telemetry_to_json(&last_telemetry, &tree, scope_count, coverage);
+
     // A speedup figure is only honest when the shards had their own
     // cores; with the worker pool clamped below the shard count the
     // ratio measures scheduling noise, not scaling.
@@ -508,13 +544,14 @@ fn time_one(
         Some(baseline_best.map_or(1.0, |b| b / campaign.best.max(1e-9)))
     };
     if clamped {
-        eprintln!(
+        telemetry::info!(
             "[perf]   ({} shard(s) clamped to {} core(s): speedup not reported)",
-            shards, cores
+            shards,
+            cores
         );
     }
 
-    eprintln!(
+    telemetry::info!(
         "[perf]   best: campaign {:.2}s (spread {:.0} %), analysis {:.2}s \
          ({} sessions, {} messages, {} events popped, peak queue {})",
         campaign.best,
@@ -534,7 +571,7 @@ fn time_one(
     };
     let campaign_speedup_vs_full = full_best.map(|fb| fb / campaign.best.max(1e-9));
     if let Some(s) = campaign_speedup_vs_full {
-        eprintln!("[perf]   hybrid vs full campaign speedup: {s:.2}x");
+        telemetry::info!("[perf]   hybrid vs full campaign speedup: {s:.2}x");
     }
 
     PerfRun {
@@ -566,16 +603,48 @@ fn time_one(
         chunk_compression_ratio: last.chunk_compression_ratio,
         retained_chunk_bytes: last.retained_chunk_bytes,
         spill_bytes_written: last.spill_bytes_written,
+        telemetry: Some(run_telemetry),
     }
+}
+
+/// The `telemetry` object attached to one [`PerfRun`] and mirrored into
+/// `telemetry.json`: merged counters/gauges/histograms plus the stage
+/// tree and its derived scalars.
+fn telemetry_to_json(
+    snap: &Snapshot,
+    tree: &[StageNode],
+    scope_count: u64,
+    coverage: Option<f64>,
+) -> JsonValue {
+    let mut entries = match snap.to_json() {
+        JsonValue::Object(entries) => entries,
+        other => vec![("counters_raw".to_string(), other)],
+    };
+    entries.push((
+        "stages".to_string(),
+        JsonValue::Array(tree.iter().map(StageNode::to_json).collect()),
+    ));
+    entries.push((
+        "stage_coverage".to_string(),
+        coverage.map_or(JsonValue::Null, JsonValue::F64),
+    ));
+    entries.push(("scope_count".to_string(), JsonValue::U64(scope_count)));
+    entries.push((
+        "decode_cache_hit_rate".to_string(),
+        snap.decode_cache_hit_rate()
+            .map_or(JsonValue::Null, JsonValue::F64),
+    ));
+    JsonValue::Object(entries)
 }
 
 /// Compare `fresh` against `baseline`; returns the number of regressed
 /// configurations, or `None` if the comparison was skipped.
 fn check_against(fresh: &PerfReport, baseline: &PerfReport) -> Option<usize> {
     if baseline.cores != fresh.cores {
-        eprintln!(
+        telemetry::info!(
             "[perf] check skipped: baseline recorded on {} core(s), this host has {}",
-            baseline.cores, fresh.cores
+            baseline.cores,
+            fresh.cores
         );
         return None;
     }
@@ -598,7 +667,7 @@ fn check_against(fresh: &PerfReport, baseline: &PerfReport) -> Option<usize> {
         } else {
             "ok"
         };
-        eprintln!(
+        telemetry::info!(
             "[perf] check {}/{}/{}/{} shards: {:.0} msg/s vs baseline {:.0} (floor {:.0}) — {}",
             run.scale,
             run.mode,
@@ -618,7 +687,7 @@ fn check_against(fresh: &PerfReport, baseline: &PerfReport) -> Option<usize> {
             } else {
                 "ok"
             };
-            eprintln!(
+            telemetry::info!(
                 "[perf] check {}/{}/{}/{} shards: {:.1} MiB trace vs baseline {:.1} (ceiling {:.1}) — {}",
                 run.scale,
                 run.mode,
@@ -632,7 +701,7 @@ fn check_against(fresh: &PerfReport, baseline: &PerfReport) -> Option<usize> {
         }
     }
     if compared == 0 {
-        eprintln!("[perf] check: no configurations shared with the baseline");
+        telemetry::info!("[perf] check: no configurations shared with the baseline");
     }
     Some(regressions)
 }
@@ -662,12 +731,185 @@ fn check_fidelity_divergence(report: &PerfReport) -> usize {
             divergences += 1;
             "DIVERGED"
         };
-        eprintln!(
+        telemetry::info!(
             "[perf] fidelity {}/{}/{} shards: hybrid trace fingerprint {:#018x} vs full {:#018x} — {}",
             run.scale, run.mode, run.shards, run.trace_fingerprint, full.trace_fingerprint, verdict
         );
     }
     divergences
+}
+
+/// Calibrated per-primitive instrumentation costs on this host, in
+/// nanoseconds: `(per_scope, per_atomic)`.
+fn calibrate_costs() -> (f64, f64) {
+    // Scope cost in the worst configuration: a root-level scope flushes
+    // the thread-local table into the global map on every drop.
+    const SCOPES: u32 = 10_000;
+    let t0 = Instant::now();
+    for _ in 0..SCOPES {
+        telemetry::scope!("calibrate");
+    }
+    let per_scope_ns = t0.elapsed().as_nanos() as f64 / f64::from(SCOPES);
+    telemetry::profile::reset_stages();
+
+    const OPS: u32 = 1_000_000;
+    let reg = telemetry::Registry::new();
+    let t0 = Instant::now();
+    for _ in 0..OPS {
+        reg.incr(telemetry::Counter::EventsPopped);
+    }
+    std::hint::black_box(&reg);
+    let per_atomic_ns = t0.elapsed().as_nanos() as f64 / f64::from(OPS);
+    (per_scope_ns, per_atomic_ns)
+}
+
+/// One self-check leg: the smoke campaign repeated `reps` times with
+/// stage profiling on or off.
+struct CheckLeg {
+    best_secs: f64,
+    fingerprint: u64,
+    telemetry: Snapshot,
+    scopes_per_rep: f64,
+    coverage: Option<f64>,
+    stages_nonempty: bool,
+}
+
+fn smoke_leg(reps: usize, profiling_on: bool) -> CheckLeg {
+    telemetry::profile::set_enabled(profiling_on);
+    telemetry::profile::reset_stages();
+    let cfg = Scale::Smoke.population();
+    let mut best = f64::INFINITY;
+    let mut fingerprint = 0;
+    let mut tel = Snapshot::default();
+    for _ in 0..reps {
+        let g0 = telemetry::global().snapshot();
+        let t0 = Instant::now();
+        let (trace, stats) = run_population_sharded_with_stats(&cfg, 1);
+        best = best.min(t0.elapsed().as_secs_f64());
+        fingerprint = fingerprint_trace(&trace);
+        tel = stats
+            .telemetry
+            .merged(&telemetry::global().snapshot().since(&g0));
+    }
+    let stages = telemetry::profile::take_stages();
+    let scope_count: u64 = stages.iter().map(|(_, s)| s.count).sum();
+    let tree = stage_tree(&stages);
+    telemetry::profile::set_enabled(true);
+    CheckLeg {
+        best_secs: best,
+        fingerprint,
+        telemetry: tel,
+        scopes_per_rep: scope_count as f64 / reps as f64,
+        coverage: telemetry::profile::root_child_coverage(&tree, "campaign"),
+        stages_nonempty: !tree.is_empty(),
+    }
+}
+
+/// Prove the telemetry free at smoke scale: the observed trace must be
+/// bit-identical with profiling on and off, the stage tree must exist
+/// and its campaign children must cover ≥ 90 % of the campaign's
+/// inclusive time, and the instrumentation overhead — both modeled from
+/// calibrated per-primitive costs and measured as the on-vs-off
+/// min-of-N campaign delta — must stay under [`MAX_OVERHEAD_FRAC`].
+///
+/// Counters stay on in the "off" leg by design: they are part of the
+/// canonical merge, and their cost is what the modeled bound covers.
+/// Returns the `self_check` object for `telemetry.json` and a pass flag.
+fn telemetry_self_check() -> (JsonValue, bool) {
+    telemetry::info!("[perf] telemetry self-check (smoke scale, 1 shard, full fidelity)…");
+    let (per_scope_ns, per_atomic_ns) = calibrate_costs();
+
+    let mut reps = 2;
+    let mut on = smoke_leg(reps, true);
+    let mut off = smoke_leg(reps, false);
+    let mut measured = (on.best_secs - off.best_secs) / off.best_secs.max(1e-9);
+    if measured >= MAX_OVERHEAD_FRAC {
+        // One retry with more draws: min-of-N needs them on a machine
+        // whose background jitter exceeds the overhead being measured.
+        reps = 5;
+        telemetry::info!(
+            "[perf]   measured overhead {:.1} % ≥ {:.0} % budget: retrying with {reps} reps",
+            measured * 100.0,
+            MAX_OVERHEAD_FRAC * 100.0
+        );
+        on = smoke_leg(reps, true);
+        off = smoke_leg(reps, false);
+        measured = (on.best_secs - off.best_secs) / off.best_secs.max(1e-9);
+    }
+
+    let atomic_ops = on.telemetry.estimated_atomic_ops();
+    let plain_ops = on.telemetry.estimated_plain_ops();
+    let modeled_ns = on.scopes_per_rep * per_scope_ns
+        + atomic_ops as f64 * per_atomic_ns
+        + plain_ops as f64 * 0.5;
+    let modeled = modeled_ns / (on.best_secs * 1e9).max(1.0);
+
+    let fingerprints_identical = on.fingerprint == off.fingerprint;
+    let coverage_ok = on.coverage.is_some_and(|c| c >= 0.9);
+    let passed = fingerprints_identical
+        && on.stages_nonempty
+        && coverage_ok
+        && modeled < MAX_OVERHEAD_FRAC
+        && measured < MAX_OVERHEAD_FRAC;
+
+    telemetry::info!(
+        "[perf]   calibration: {per_scope_ns:.0} ns/scope, {per_atomic_ns:.1} ns/atomic; \
+         {:.0} scopes + {atomic_ops} atomic ops + {plain_ops} plain ops per campaign",
+        on.scopes_per_rep
+    );
+    telemetry::info!(
+        "[perf]   overhead: modeled {:.3} %, measured {:+.1} % (budget {:.0} %); \
+         fingerprint on/off {}; campaign stage coverage {}",
+        modeled * 100.0,
+        measured * 100.0,
+        MAX_OVERHEAD_FRAC * 100.0,
+        if fingerprints_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        on.coverage
+            .map_or_else(|| "n/a".to_string(), |c| format!("{:.0} %", c * 100.0)),
+    );
+
+    let json = JsonValue::Object(vec![
+        ("passed".to_string(), JsonValue::Bool(passed)),
+        ("reps".to_string(), JsonValue::U64(reps as u64)),
+        ("per_scope_ns".to_string(), JsonValue::F64(per_scope_ns)),
+        ("per_atomic_ns".to_string(), JsonValue::F64(per_atomic_ns)),
+        (
+            "scopes_per_campaign".to_string(),
+            JsonValue::F64(on.scopes_per_rep),
+        ),
+        ("atomic_ops".to_string(), JsonValue::U64(atomic_ops)),
+        ("plain_ops".to_string(), JsonValue::U64(plain_ops)),
+        ("modeled_overhead_frac".to_string(), JsonValue::F64(modeled)),
+        (
+            "measured_overhead_frac".to_string(),
+            JsonValue::F64(measured),
+        ),
+        (
+            "overhead_budget_frac".to_string(),
+            JsonValue::F64(MAX_OVERHEAD_FRAC),
+        ),
+        (
+            "fingerprint_on".to_string(),
+            JsonValue::Str(format!("{:#018x}", on.fingerprint)),
+        ),
+        (
+            "fingerprint_off".to_string(),
+            JsonValue::Str(format!("{:#018x}", off.fingerprint)),
+        ),
+        (
+            "fingerprints_identical".to_string(),
+            JsonValue::Bool(fingerprints_identical),
+        ),
+        (
+            "stage_coverage".to_string(),
+            on.coverage.map_or(JsonValue::Null, JsonValue::F64),
+        ),
+    ]);
+    (json, passed)
 }
 
 fn main() {
@@ -749,11 +991,64 @@ fn main() {
 
     let json = serde_json::to_string_pretty(&report).expect("serialize perf report");
     std::fs::write(&out_path, json + "\n").expect("write perf report");
-    eprintln!("[perf] wrote {out_path}");
+    telemetry::info!("[perf] wrote {out_path}");
+
+    // Telemetry sidecar: per-run telemetry objects plus the self-check.
+    // `P2PQ_PERF_TELEMETRY_CHECK=0` skips the (smoke-campaign) self-check
+    // for quick iteration; CI leaves it on.
+    let check_enabled = std::env::var("P2PQ_PERF_TELEMETRY_CHECK").map_or(true, |v| v != "0");
+    let (self_check, self_check_passed) = if check_enabled {
+        telemetry_self_check()
+    } else {
+        (JsonValue::Null, true)
+    };
+    let tel_path = std::path::Path::new(&out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(
+            || "telemetry.json".to_string(),
+            |p| p.join("telemetry.json").to_string_lossy().into_owned(),
+        );
+    let tel = JsonValue::Object(vec![
+        (
+            "generated_by".to_string(),
+            JsonValue::Str("p2pq-bench perf".to_string()),
+        ),
+        ("cores".to_string(), JsonValue::U64(report.cores)),
+        (
+            "runs".to_string(),
+            JsonValue::Array(
+                report
+                    .runs
+                    .iter()
+                    .map(|r| {
+                        JsonValue::Object(vec![
+                            ("scale".to_string(), JsonValue::Str(r.scale.clone())),
+                            ("mode".to_string(), JsonValue::Str(r.mode.clone())),
+                            ("fidelity".to_string(), JsonValue::Str(r.fidelity.clone())),
+                            ("shards".to_string(), JsonValue::U64(r.shards as u64)),
+                            (
+                                "telemetry".to_string(),
+                                r.telemetry.clone().unwrap_or(JsonValue::Null),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("self_check".to_string(), self_check),
+    ]);
+    let tel_json = serde_json::to_string_pretty(&tel).expect("serialize telemetry report");
+    std::fs::write(&tel_path, tel_json + "\n").expect("write telemetry report");
+    telemetry::info!("[perf] wrote {tel_path}");
 
     let divergences = check_fidelity_divergence(&report);
     if divergences > 0 {
-        eprintln!("[perf] {divergences} observed-trace divergence(s) between fidelities");
+        telemetry::warn!("[perf] {divergences} observed-trace divergence(s) between fidelities");
+        std::process::exit(1);
+    }
+    if !self_check_passed {
+        telemetry::warn!("[perf] telemetry self-check failed (see telemetry.json)");
         std::process::exit(1);
     }
 
@@ -764,10 +1059,10 @@ fn main() {
             serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path:?}: {e}"));
         if let Some(regressions) = check_against(&report, &baseline) {
             if regressions > 0 {
-                eprintln!("[perf] {regressions} regression(s) beyond tolerance");
+                telemetry::warn!("[perf] {regressions} regression(s) beyond tolerance");
                 std::process::exit(1);
             }
-            eprintln!("[perf] throughput and memory within tolerance of {path}");
+            telemetry::info!("[perf] throughput and memory within tolerance of {path}");
         }
     }
 }

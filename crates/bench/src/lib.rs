@@ -120,9 +120,10 @@ impl ExperimentContext {
     /// Build a context at the given scale (simulates the campaign).
     pub fn build(scale: Scale) -> ExperimentContext {
         let cfg = scale.population();
-        eprintln!(
+        telemetry::info!(
             "[bench] simulating {} day(s) × {} sessions/day…",
-            cfg.days, cfg.sessions_per_day
+            cfg.days,
+            cfg.sessions_per_day
         );
         let t0 = std::time::Instant::now();
         let trace = run_population(&cfg);
@@ -131,7 +132,7 @@ impl ExperimentContext {
         // trace chunk once.
         let r = analyze_retained(&trace, &db);
         let (ft, obs) = (r.ft, r.obs);
-        eprintln!(
+        telemetry::info!(
             "[bench] context ready in {:.1?}: {} connections, {} filtered sessions",
             t0.elapsed(),
             trace.connections.len(),

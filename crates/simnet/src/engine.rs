@@ -80,6 +80,13 @@ pub struct SimStats {
     /// High-water mark of pending events — the queue pressure a run
     /// actually exerted (informs heap pre-sizing).
     pub peak_queue_len: u64,
+    /// Pushes that overflowed the timing wheel's 512 ms window into the
+    /// 4-ary far heap (telemetry: wheel pops vs heap spills).
+    #[serde(default)]
+    pub heap_spills: u64,
+    /// Far-heap events migrated into wheel buckets as time advanced.
+    #[serde(default)]
+    pub heap_migrations: u64,
 }
 
 /// The simulation driver.
@@ -244,6 +251,8 @@ impl<M: 'static> Simulator<M> {
         SimStats {
             events_popped: self.queue.popped(),
             peak_queue_len: self.queue.peak_len() as u64,
+            heap_spills: self.queue.far_pushed(),
+            heap_migrations: self.queue.migrated(),
             ..self.stats
         }
     }

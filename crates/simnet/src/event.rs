@@ -93,6 +93,10 @@ pub struct EventQueue<E> {
     next_seq: u64,
     popped: u64,
     peak_len: usize,
+    /// Pushes that overflowed the wheel window into the far heap.
+    far_pushed: u64,
+    /// Far events migrated back into wheel buckets.
+    migrated: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -106,6 +110,8 @@ impl<E> Default for EventQueue<E> {
             next_seq: 0,
             popped: 0,
             peak_len: 0,
+            far_pushed: 0,
+            migrated: 0,
         }
     }
 }
@@ -168,6 +174,7 @@ impl<E> EventQueue<E> {
             self.wheel_len += 1;
         } else {
             heap_push(&mut self.far, s);
+            self.far_pushed += 1;
         }
         self.peak_len = self.peak_len.max(self.len());
         seq
@@ -225,6 +232,7 @@ impl<E> EventQueue<E> {
             let idx = (self.cursor + (ms - self.start) as usize) % WHEEL_SLOTS;
             self.buckets[idx].push(s);
             self.wheel_len += 1;
+            self.migrated += 1;
         }
     }
 
@@ -263,6 +271,17 @@ impl<E> EventQueue<E> {
     /// High-water mark of pending events over the queue's lifetime.
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    /// Pushes that landed in the overflow heap (beyond the wheel
+    /// window) over the queue's lifetime.
+    pub fn far_pushed(&self) -> u64 {
+        self.far_pushed
+    }
+
+    /// Far events migrated into wheel buckets as the window advanced.
+    pub fn migrated(&self) -> u64 {
+        self.migrated
     }
 }
 

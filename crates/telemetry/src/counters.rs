@@ -1,0 +1,536 @@
+//! Lock-free counter/gauge/histogram registry.
+//!
+//! A [`Registry`] is a fixed array of relaxed [`AtomicU64`]s — no
+//! allocation after construction, no locks, no ordering constraints.
+//! Shard-local registries are snapshotted at shard finish and merged
+//! into the campaign totals at the same canonical `(time, shard)` join
+//! that merges traces; [`Snapshot::merge`] is associative and
+//! commutative (sum for counters and histogram buckets, max for
+//! gauges), so the merged totals are independent of shard count and
+//! join order for the quantities each shard produced.
+
+use serde_json::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Monotone event counters (sum-merged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Events popped off a shard's timing-wheel queue.
+    EventsPopped = 0,
+    /// Events that overflowed the 512-slot wheel window into the 4-ary
+    /// far heap at push time.
+    HeapSpills,
+    /// Far-heap events migrated back into wheel buckets as the window
+    /// advanced.
+    HeapMigrations,
+    /// Messages whose delivery the hybrid engine elided entirely.
+    HybridElided,
+    /// Peer→collector messages the hybrid engine modeled as events.
+    HybridModeled,
+    /// Record batches handed to the trace sink (collector drains).
+    SinkBatches,
+    /// Message records delivered through the sink.
+    SinkRecords,
+    /// Columnar tail seals into compressed chunks.
+    ChunkSeals,
+    /// Random-access chunk reads served by the resident decode cache.
+    DecodeCacheHits,
+    /// Random-access chunk reads that had to decode a chunk.
+    DecodeCacheMisses,
+    /// Compressed chunk bytes appended to the spill file.
+    SpillBytesWritten,
+    /// Spill I/O failures that degraded the store to in-memory chunks.
+    SpillDegraded,
+}
+
+impl Counter {
+    /// Every counter, in id order.
+    pub const ALL: [Counter; NUM_COUNTERS] = [
+        Counter::EventsPopped,
+        Counter::HeapSpills,
+        Counter::HeapMigrations,
+        Counter::HybridElided,
+        Counter::HybridModeled,
+        Counter::SinkBatches,
+        Counter::SinkRecords,
+        Counter::ChunkSeals,
+        Counter::DecodeCacheHits,
+        Counter::DecodeCacheMisses,
+        Counter::SpillBytesWritten,
+        Counter::SpillDegraded,
+    ];
+
+    /// snake_case name used in `telemetry.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EventsPopped => "events_popped",
+            Counter::HeapSpills => "heap_spills",
+            Counter::HeapMigrations => "heap_migrations",
+            Counter::HybridElided => "hybrid_elided",
+            Counter::HybridModeled => "hybrid_modeled",
+            Counter::SinkBatches => "sink_batches",
+            Counter::SinkRecords => "sink_records",
+            Counter::ChunkSeals => "chunk_seals",
+            Counter::DecodeCacheHits => "decode_cache_hits",
+            Counter::DecodeCacheMisses => "decode_cache_misses",
+            Counter::SpillBytesWritten => "spill_bytes_written",
+            Counter::SpillDegraded => "spill_degraded",
+        }
+    }
+}
+
+/// Number of [`Counter`] ids.
+pub const NUM_COUNTERS: usize = 12;
+
+/// High-water marks (max-merged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Peak retained trace bytes (sealed chunks resident in memory plus
+    /// the flat tail), sampled at seal boundaries.
+    PeakTraceBytes = 0,
+    /// Peak pending events in a shard's queue.
+    PeakQueueLen,
+}
+
+impl Gauge {
+    /// Every gauge, in id order.
+    pub const ALL: [Gauge; NUM_GAUGES] = [Gauge::PeakTraceBytes, Gauge::PeakQueueLen];
+
+    /// snake_case name used in `telemetry.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::PeakTraceBytes => "peak_trace_bytes",
+            Gauge::PeakQueueLen => "peak_queue_len",
+        }
+    }
+}
+
+/// Number of [`Gauge`] ids.
+pub const NUM_GAUGES: usize = 2;
+
+/// Log₂-bucketed histograms (buckets sum-merged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Size of each record batch handed to the trace sink.
+    SinkBatchSize = 0,
+}
+
+impl Hist {
+    /// Every histogram, in id order.
+    pub const ALL: [Hist; NUM_HISTS] = [Hist::SinkBatchSize];
+
+    /// snake_case name used in `telemetry.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SinkBatchSize => "sink_batch_size",
+        }
+    }
+}
+
+/// Number of [`Hist`] ids.
+pub const NUM_HISTS: usize = 1;
+
+/// Buckets per histogram: bucket `i` counts values in
+/// `[2^i, 2^(i+1))` (bucket 0 additionally holds 0, the last bucket is
+/// open-ended).
+pub const HIST_BUCKETS: usize = 24;
+
+/// Bucket index for a histogram observation.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((63 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// A lock-free registry of counters, gauges, and histograms.
+///
+/// All operations are relaxed atomics: safe from any thread, no
+/// synchronization edges, no effect on execution order. Single-writer
+/// shard-local registries pay an uncontended atomic add — on the hot
+/// paths that matter this is indistinguishable from a plain add (the
+/// perf harness gates the total below 2%).
+pub struct Registry {
+    counters: [AtomicU64; NUM_COUNTERS],
+    gauges: [AtomicU64; NUM_GAUGES],
+    hists: [[AtomicU64; HIST_BUCKETS]; NUM_HISTS],
+}
+
+// `AtomicU64` is not `Copy`; a const item makes array-repeat legal.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_HIST: [AtomicU64; HIST_BUCKETS] = [ZERO; HIST_BUCKETS];
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Registry {
+        Registry {
+            counters: [ZERO; NUM_COUNTERS],
+            gauges: [ZERO; NUM_GAUGES],
+            hists: [ZERO_HIST; NUM_HISTS],
+        }
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Relaxed);
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn incr(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Raise a gauge to `v` if `v` exceeds its current value.
+    #[inline]
+    pub fn gauge_max(&self, g: Gauge, v: u64) {
+        self.gauges[g as usize].fetch_max(v, Relaxed);
+    }
+
+    /// Record one observation of `v` into a histogram.
+    #[inline]
+    pub fn observe(&self, h: Hist, v: u64) {
+        self.hists[h as usize][bucket_of(v)].fetch_add(1, Relaxed);
+    }
+
+    /// Copy out the current values.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::default();
+        for i in 0..NUM_COUNTERS {
+            s.counters[i] = self.counters[i].load(Relaxed);
+        }
+        for i in 0..NUM_GAUGES {
+            s.gauges[i] = self.gauges[i].load(Relaxed);
+        }
+        for (h, row) in self.hists.iter().enumerate() {
+            for (b, cell) in row.iter().enumerate() {
+                s.hists[h][b] = cell.load(Relaxed);
+            }
+        }
+        s
+    }
+
+    /// Reset every value to zero (between perf reps; not atomic as a
+    /// whole — callers quiesce writers first).
+    pub fn clear(&self) {
+        for c in &self.counters {
+            c.store(0, Relaxed);
+        }
+        for g in &self.gauges {
+            g.store(0, Relaxed);
+        }
+        for row in &self.hists {
+            for cell in row {
+                cell.store(0, Relaxed);
+            }
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-global registry: components that are not naturally
+/// shard-scoped (the trace store, standalone tools) record here.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// A point-in-time copy of a [`Registry`], mergeable across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values, indexed by [`Counter`].
+    pub counters: [u64; NUM_COUNTERS],
+    /// Gauge values, indexed by [`Gauge`].
+    pub gauges: [u64; NUM_GAUGES],
+    /// Histogram buckets, indexed by [`Hist`].
+    pub hists: [[u64; HIST_BUCKETS]; NUM_HISTS],
+}
+
+impl Snapshot {
+    /// Value of one counter.
+    #[inline]
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Value of one gauge.
+    #[inline]
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    /// Buckets of one histogram.
+    #[inline]
+    pub fn hist(&self, h: Hist) -> &[u64; HIST_BUCKETS] {
+        &self.hists[h as usize]
+    }
+
+    /// Add `n` to a counter (folding non-atomic sources, e.g. the
+    /// engine's plain queue counters, into a shard snapshot).
+    #[inline]
+    pub fn add_counter(&mut self, c: Counter, n: u64) {
+        self.counters[c as usize] = self.counters[c as usize].wrapping_add(n);
+    }
+
+    /// Raise a gauge.
+    #[inline]
+    pub fn max_gauge(&mut self, g: Gauge, v: u64) {
+        let cell = &mut self.gauges[g as usize];
+        *cell = (*cell).max(v);
+    }
+
+    /// Merge another snapshot into this one: counters and histogram
+    /// buckets add (wrapping, so the operation stays associative at the
+    /// u64 boundary), gauges take the max.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for i in 0..NUM_COUNTERS {
+            self.counters[i] = self.counters[i].wrapping_add(other.counters[i]);
+        }
+        for i in 0..NUM_GAUGES {
+            self.gauges[i] = self.gauges[i].max(other.gauges[i]);
+        }
+        for h in 0..NUM_HISTS {
+            for b in 0..HIST_BUCKETS {
+                self.hists[h][b] = self.hists[h][b].wrapping_add(other.hists[h][b]);
+            }
+        }
+    }
+
+    /// Merged copy (`a.merged(&b)` == `b.merged(&a)`).
+    pub fn merged(mut self, other: &Snapshot) -> Snapshot {
+        self.merge(other);
+        self
+    }
+
+    /// Counter-wise difference vs an earlier snapshot (saturating;
+    /// gauges and histograms keep this snapshot's values). Used to
+    /// isolate one rep's global-registry activity.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut s = *self;
+        for i in 0..NUM_COUNTERS {
+            s.counters[i] = self.counters[i].saturating_sub(earlier.counters[i]);
+        }
+        for h in 0..NUM_HISTS {
+            for b in 0..HIST_BUCKETS {
+                s.hists[h][b] = self.hists[h][b].saturating_sub(earlier.hists[h][b]);
+            }
+        }
+        s
+    }
+
+    /// Number of atomic registry operations this snapshot's counters
+    /// imply, for the modeled-overhead accounting. Every `+1` counter
+    /// and every histogram observation is one relaxed RMW; value-carrying
+    /// counters (spill bytes, sink record totals) are bumped once per
+    /// batch/seal, so their op count is the corresponding event counter,
+    /// already included.
+    pub fn estimated_atomic_ops(&self) -> u64 {
+        let one_per_bump = [
+            Counter::SinkBatches,
+            Counter::SinkRecords, // one add per batch, alongside SinkBatches
+            Counter::ChunkSeals,
+            Counter::SpillBytesWritten, // one add per seal when spilling
+            Counter::DecodeCacheHits,
+            Counter::DecodeCacheMisses,
+            Counter::SpillDegraded,
+        ];
+        let mut ops = 0u64;
+        // SinkRecords/SpillBytesWritten carry values, not op counts;
+        // their op counts equal SinkBatches/ChunkSeals respectively.
+        for c in one_per_bump {
+            ops = ops.saturating_add(match c {
+                Counter::SinkRecords => self.counter(Counter::SinkBatches),
+                Counter::SpillBytesWritten => self.counter(Counter::ChunkSeals),
+                other => self.counter(other),
+            });
+        }
+        for h in 0..NUM_HISTS {
+            ops = ops.saturating_add(self.hists[h].iter().sum::<u64>());
+        }
+        ops
+    }
+
+    /// Plain (non-atomic) instrumentation increments this snapshot
+    /// implies: the queue's new per-event spill/migration counters.
+    /// (`events_popped` predates telemetry and is not charged.)
+    pub fn estimated_plain_ops(&self) -> u64 {
+        self.counter(Counter::HeapSpills)
+            .saturating_add(self.counter(Counter::HeapMigrations))
+    }
+
+    /// Decode-cache hit rate, if any random-access reads happened.
+    pub fn decode_cache_hit_rate(&self) -> Option<f64> {
+        let h = self.counter(Counter::DecodeCacheHits);
+        let m = self.counter(Counter::DecodeCacheMisses);
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+
+    /// JSON object for `telemetry.json`: `{counters: {...}, gauges:
+    /// {...}, hists: {name: [buckets...]}}`, zero histogram tails
+    /// trimmed.
+    pub fn to_json(&self) -> JsonValue {
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), JsonValue::U64(self.counter(c))))
+            .collect();
+        let gauges = Gauge::ALL
+            .iter()
+            .map(|&g| (g.name().to_string(), JsonValue::U64(self.gauge(g))))
+            .collect();
+        let hists = Hist::ALL
+            .iter()
+            .map(|&h| {
+                let row = self.hist(h);
+                let last = row.iter().rposition(|&v| v != 0).map_or(0, |i| i + 1);
+                (
+                    h.name().to_string(),
+                    JsonValue::Array(row[..last].iter().map(|&v| JsonValue::U64(v)).collect()),
+                )
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("counters".to_string(), JsonValue::Object(counters)),
+            ("gauges".to_string(), JsonValue::Object(gauges)),
+            ("hists".to_string(), JsonValue::Object(hists)),
+        ])
+    }
+}
+
+// `Snapshot` travels inside serialized campaign stats; the JSON form is
+// exactly `to_json` (names keyed, zero hist tails trimmed), and missing
+// names deserialize to zero so snapshots from older traces default
+// cleanly.
+impl serde::Serialize for Snapshot {
+    fn to_value(&self) -> serde::Value {
+        self.to_json()
+    }
+}
+
+impl serde::Deserialize for Snapshot {
+    fn from_value(v: &serde::Value) -> Result<Snapshot, serde::Error> {
+        fn num(v: Option<&serde::Value>) -> Result<u64, serde::Error> {
+            match v {
+                None => Ok(0),
+                Some(serde::Value::U64(n)) => Ok(*n),
+                Some(serde::Value::I64(n)) if *n >= 0 => Ok(*n as u64),
+                Some(other) => Err(serde::Error::msg(format!(
+                    "expected unsigned integer, found {}",
+                    other.type_name()
+                ))),
+            }
+        }
+        let mut s = Snapshot::default();
+        let counters = v.get("counters");
+        for c in Counter::ALL {
+            s.counters[c as usize] = num(counters.and_then(|o| o.get(c.name())))?;
+        }
+        let gauges = v.get("gauges");
+        for g in Gauge::ALL {
+            s.gauges[g as usize] = num(gauges.and_then(|o| o.get(g.name())))?;
+        }
+        let hists = v.get("hists");
+        for h in Hist::ALL {
+            if let Some(serde::Value::Array(row)) = hists.and_then(|o| o.get(h.name())) {
+                for (b, cell) in row.iter().take(HIST_BUCKETS).enumerate() {
+                    s.hists[h as usize][b] = num(Some(cell))?;
+                }
+            }
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_snapshot_round_trip() {
+        let r = Registry::new();
+        r.add(Counter::SinkRecords, 8192);
+        r.incr(Counter::SinkBatches);
+        r.gauge_max(Gauge::PeakTraceBytes, 10);
+        r.gauge_max(Gauge::PeakTraceBytes, 7); // lower: ignored
+        r.observe(Hist::SinkBatchSize, 8192);
+        let s = r.snapshot();
+        assert_eq!(s.counter(Counter::SinkRecords), 8192);
+        assert_eq!(s.counter(Counter::SinkBatches), 1);
+        assert_eq!(s.gauge(Gauge::PeakTraceBytes), 10);
+        assert_eq!(s.hist(Hist::SinkBatchSize)[13], 1); // 2^13 = 8192
+        r.clear();
+        assert_eq!(r.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges() {
+        let mut a = Snapshot::default();
+        a.add_counter(Counter::ChunkSeals, 3);
+        a.max_gauge(Gauge::PeakQueueLen, 100);
+        let mut b = Snapshot::default();
+        b.add_counter(Counter::ChunkSeals, 4);
+        b.max_gauge(Gauge::PeakQueueLen, 60);
+        let m = a.merged(&b);
+        assert_eq!(m.counter(Counter::ChunkSeals), 7);
+        assert_eq!(m.gauge(Gauge::PeakQueueLen), 100);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        use serde::{Deserialize, Serialize};
+        let r = Registry::new();
+        r.add(Counter::SinkRecords, 8192);
+        r.gauge_max(Gauge::PeakQueueLen, 9);
+        r.observe(Hist::SinkBatchSize, 100);
+        let s = r.snapshot();
+        let back = Snapshot::from_value(&s.to_value()).expect("round trip");
+        assert_eq!(s, back);
+        assert_eq!(Snapshot::from_value(&s.to_json()), Ok(s));
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = Registry::new();
+        r.incr(Counter::DecodeCacheHits);
+        let j = r.snapshot().to_json();
+        let counters = j.get("counters").expect("counters key");
+        assert_eq!(counters.get("decode_cache_hits"), Some(&JsonValue::U64(1)));
+        assert!(j.get("gauges").is_some());
+        assert!(j.get("hists").is_some());
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests for snapshot merging: the campaign's `(time, shard)`
+//! join folds per-shard snapshots in an order determined by shard id,
+//! but the totals must not depend on that order or grouping — merge
+//! must be commutative and associative, with `Snapshot::default()` as
+//! identity.
+
+use proptest::prelude::*;
+use telemetry::counters::{HIST_BUCKETS, NUM_COUNTERS, NUM_GAUGES, NUM_HISTS};
+use telemetry::Snapshot;
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    let cells = NUM_COUNTERS + NUM_GAUGES + NUM_HISTS * HIST_BUCKETS;
+    proptest::collection::vec(0u64..u64::MAX, cells..cells + 1).prop_map(move |vals| {
+        let mut s = Snapshot::default();
+        let mut it = vals.into_iter();
+        for c in s.counters.iter_mut() {
+            *c = it.next().unwrap();
+        }
+        for g in s.gauges.iter_mut() {
+            *g = it.next().unwrap();
+        }
+        for h in s.hists.iter_mut() {
+            for b in h.iter_mut() {
+                *b = it.next().unwrap();
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in snapshot_strategy(), b in snapshot_strategy()) {
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in snapshot_strategy(),
+        b in snapshot_strategy(),
+        c in snapshot_strategy(),
+    ) {
+        let left = a.merged(&b).merged(&c);
+        let right = a.merged(&b.merged(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn default_is_identity(a in snapshot_strategy()) {
+        prop_assert_eq!(a.merged(&Snapshot::default()), a);
+        prop_assert_eq!(Snapshot::default().merged(&a), a);
+    }
+}

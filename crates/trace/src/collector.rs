@@ -46,6 +46,7 @@ use rand::SeedableRng;
 use simnet::{Actor, Context, LatencyModel, NodeId, SimTime};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+use telemetry::{Counter, Hist, Registry};
 
 /// Measurement peer configuration.
 #[derive(Debug, Clone)]
@@ -186,6 +187,10 @@ pub struct MeasurementPeer {
     /// pure function of its inbound stream — the contract the
     /// hybrid-fidelity engine replays.
     next_key: u64,
+    /// Telemetry registry the drain boundary reports into: the shard's
+    /// registry under a campaign, a private one for standalone use.
+    /// Relaxed counter bumps once per ~8k records — never per message.
+    registry: Arc<Registry>,
 }
 
 impl MeasurementPeer {
@@ -198,6 +203,16 @@ impl MeasurementPeer {
     /// Create a measurement peer delivering the record stream to an
     /// arbitrary sink (streaming aggregators, fan-outs, or a trace).
     pub fn with_sink(cfg: CollectorConfig, sink: SharedSink) -> Self {
+        MeasurementPeer::with_sink_and_registry(cfg, sink, Arc::new(Registry::new()))
+    }
+
+    /// As [`MeasurementPeer::with_sink`], but reporting drain telemetry
+    /// into a caller-owned (e.g. shard-local) registry.
+    pub fn with_sink_and_registry(
+        cfg: CollectorConfig,
+        sink: SharedSink,
+        registry: Arc<Registry>,
+    ) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
         MeasurementPeer {
             cfg,
@@ -210,6 +225,7 @@ impl MeasurementPeer {
             pending_wire: Vec::with_capacity(RECORD_FLUSH_CHUNK),
             next_sid: 0,
             next_key: 0,
+            registry,
         }
     }
 
@@ -235,9 +251,16 @@ impl MeasurementPeer {
         if self.pending.is_empty() {
             return;
         }
+        telemetry::scope!("drain");
+        let n = self.pending.len() as u64;
+        let virtual_secs = self.pending.last().map_or(0.0, |r| r.at.as_secs_f64());
         self.sink.lock().on_batch(&self.pending, &self.pending_wire);
         self.pending.clear();
         self.pending_wire.clear();
+        self.registry.incr(Counter::SinkBatches);
+        self.registry.add(Counter::SinkRecords, n);
+        self.registry.observe(Hist::SinkBatchSize, n);
+        telemetry::progress::record_batch(n, virtual_secs);
     }
 
     fn record_message(&mut self, sid: SessionId, at: SimTime, msg: &Message) {
@@ -273,11 +296,11 @@ impl MeasurementPeer {
 
     fn finalize(&mut self, node: NodeId, end: SimTime, by_probe: bool) {
         if let Some(conn) = self.conns.remove(node) {
-            let mut sink = self.sink.lock();
-            sink.on_batch(&self.pending, &self.pending_wire);
-            self.pending.clear();
-            self.pending_wire.clear();
-            sink.on_close(conn.sid, end, by_probe);
+            // Drain-then-close in two acquisitions: only this actor
+            // writes to its sink, so nothing can interleave, and the
+            // drain goes through the one accounting point.
+            self.flush();
+            self.sink.lock().on_close(conn.sid, end, by_probe);
             if by_probe {
                 self.counters.probe_closes += 1;
             }

@@ -37,6 +37,7 @@ use std::io::{self, BufRead, Write};
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
 use std::sync::Arc;
+use telemetry::{Counter, Gauge};
 
 /// Rows per sealed chunk. A power of two that is a whole multiple of the
 /// collector's 8k drain batches, so seals land on drain boundaries; at
@@ -499,6 +500,7 @@ impl MessageColumns {
 
     /// Encode the full tail into a sealed chunk and reset it.
     fn seal_tail(&mut self) {
+        telemetry::scope!("seal");
         debug_assert_eq!(self.tail.len(), self.chunk_rows);
         let mut bytes = std::mem::take(&mut self.encode_buf);
         chunk::encode_chunk(
@@ -515,10 +517,12 @@ impl MessageColumns {
                 match SpillFile::create(dir) {
                     Ok(f) => self.spill = Some(Arc::new(f)),
                     Err(e) => {
-                        eprintln!(
-                            "trace spill disabled: cannot create spill file in {}: {e}",
+                        telemetry::warn!(
+                            "trace spill disabled: cannot create spill file in {}: {e} \
+                             (degrading to in-memory chunks)",
                             dir.display()
                         );
+                        telemetry::global().incr(Counter::SpillDegraded);
                         self.spill_failed = true;
                     }
                 }
@@ -534,13 +538,18 @@ impl MessageColumns {
                             });
                         }
                         Err(e) => {
-                            eprintln!("trace spill disabled after write error: {e}");
+                            telemetry::warn!(
+                                "trace spill disabled after write error: {e} \
+                                 (degrading to in-memory chunks)"
+                            );
+                            telemetry::global().incr(Counter::SpillDegraded);
                             self.spill_failed = true;
                         }
                     }
                 }
             }
         }
+        let spilled = stored.is_some();
         match stored {
             Some(s) => {
                 self.sealed.push(s);
@@ -553,6 +562,24 @@ impl MessageColumns {
         }
         self.rows_sealed += self.tail.len();
         self.tail.clear();
+
+        let reg = telemetry::global();
+        reg.incr(Counter::ChunkSeals);
+        if spilled {
+            // One add per seal; the value is the bytes appended.
+            reg.add(
+                Counter::SpillBytesWritten,
+                self.sealed.last().map_or(0, |c| match c {
+                    SealedChunk::Spilled { len, .. } => u64::from(*len),
+                    SealedChunk::Mem(_) => 0,
+                }),
+            );
+        }
+        // Resident encoded bytes = all sealed minus spilled extents.
+        reg.gauge_max(
+            Gauge::PeakTraceBytes,
+            self.encoded_sealed_bytes - self.spilled_bytes,
+        );
     }
 
     /// Fetch chunk `idx`'s encoded bytes: borrowed in place for resident
@@ -577,9 +604,12 @@ impl MessageColumns {
         let mut guard = self.cache.lock();
         let cache = &mut *guard;
         if cache.chunk != idx {
+            telemetry::global().incr(Counter::DecodeCacheMisses);
             let bytes = self.chunk_data(idx, &mut cache.file_buf);
             chunk::decode_chunk(bytes, &mut cache.batch);
             cache.chunk = idx;
+        } else {
+            telemetry::global().incr(Counter::DecodeCacheHits);
         }
         f(&cache.batch)
     }
