@@ -137,7 +137,17 @@ impl StreamingPipeline {
 
     fn note_peak(&mut self) {
         let now = self.live_bytes + self.retained_bytes + self.agg_bytes;
-        self.peak_bytes = self.peak_bytes.max(now);
+        if now > self.peak_bytes {
+            self.peak_bytes = now;
+            // Streaming mode never seals trace chunks, so without this
+            // the `peak_trace_bytes` gauge stays 0 while the pipeline
+            // holds real memory. Gauges merge by max, so the global
+            // value is the largest single-shard peak (the top-level
+            // `peak_bytes` scalar still sums across shards). Feeding it
+            // only on a new local peak keeps the atomic off the
+            // per-batch path.
+            telemetry::global().gauge_max(telemetry::Gauge::PeakTraceBytes, now);
+        }
     }
 
     /// Consume the pipeline, counting still-open sessions as unfinished
@@ -386,6 +396,27 @@ mod tests {
         assert_eq!(starts, vec![50, 50, 120, 300]);
         assert_eq!(merged.sessions_seen, 4);
         assert_eq!(merged.ft.report.final_sessions, 4);
+    }
+
+    #[test]
+    fn streaming_feeds_peak_trace_bytes_gauge() {
+        let mut p = StreamingPipeline::new(GeoDb::synthetic(), true);
+        connect(&mut p, 0, 100);
+        let records = [query(0, 400, "some song")];
+        p.on_batch(&records, &[40u32]);
+        p.on_close(SessionId(0), SimTime::from_secs(400), false);
+        let r = p.finish();
+        assert!(r.peak_bytes > 0);
+        // The global gauge merges by max and only grows, so with other
+        // tests running in parallel we can still assert it saw at least
+        // this pipeline's peak.
+        assert!(
+            telemetry::global()
+                .snapshot()
+                .gauge(telemetry::Gauge::PeakTraceBytes)
+                >= r.peak_bytes,
+            "streaming path must feed the peak_trace_bytes gauge"
+        );
     }
 
     #[test]

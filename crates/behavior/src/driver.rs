@@ -154,6 +154,7 @@ impl CampaignStats {
         t.add_counter(Counter::EventsPopped, s.sim.events_popped);
         t.add_counter(Counter::HeapSpills, s.sim.heap_spills);
         t.add_counter(Counter::HeapMigrations, s.sim.heap_migrations);
+        t.add_counter(Counter::WheelCascades, s.sim.wheel_cascades);
         t.add_counter(Counter::HybridElided, s.elided_msgs);
         t.add_counter(Counter::HybridModeled, s.modeled_msgs);
         t.max_gauge(Gauge::PeakQueueLen, s.sim.peak_queue_len);

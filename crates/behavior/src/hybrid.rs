@@ -143,6 +143,23 @@ struct Session {
     emitter: Option<SessionEmitter>,
     pending: Option<EmissionKind>,
     next_key: u64,
+    /// Gap-batched RNG draws: pre-drawn (GUID, send-latency) pairs
+    /// served to upcoming emissions. Only populated for free-rider
+    /// leaves (`!ultrapeer && shared_files == 0`), whose every
+    /// post-accept RNG consumption before `End` is provably such a
+    /// pair — planned queries, keepalives, and probe pongs alike — with
+    /// no interleaving draws from the same RNG. Serving pre-drawn pairs
+    /// in order therefore leaves the RNG stream bit-identical to
+    /// per-emission draws.
+    pair_buf: Vec<(Guid, SimDuration)>,
+    pair_pos: usize,
+    /// Exact count of not-yet-emitted planned + keepalive emissions.
+    /// Refills never draw past it, and emissions decrement it while
+    /// probes only consume buffered pairs, so the buffer is provably
+    /// empty when `End` draws directly from the RNG.
+    pair_budget: u64,
+    /// Whether this session is eligible for gap batching.
+    batching: bool,
 }
 
 /// Outcome of one (full- or hybrid-fidelity) shard run.
@@ -163,6 +180,9 @@ pub struct ShardOutcome {
 /// Local-record buffer size triggering a sink drain — matches the
 /// collector's chunking so the sink sees identical batch boundaries.
 const RECORD_FLUSH_CHUNK: usize = 8_192;
+
+/// Pairs drawn per gap-batched RNG refill burst (see [`Session`]).
+const RNG_BATCH: usize = 16;
 
 /// A hybrid-fidelity shard: drop-in replacement for a full-fidelity
 /// `Simulator` campaign shard, producing a bit-identical observed trace.
@@ -322,6 +342,7 @@ impl HybridShard {
                 peak_queue_len: self.queue.peak_len() as u64,
                 heap_spills: self.queue.far_pushed(),
                 heap_migrations: self.queue.migrated(),
+                wheel_cascades: self.queue.cascades(),
             },
             elided_msgs: self.elided,
             modeled_msgs: self.modeled,
@@ -374,6 +395,10 @@ impl HybridShard {
             emitter: None,
             pending: None,
             next_key: 1,
+            pair_buf: Vec::new(),
+            pair_pos: 0,
+            pair_budget: 0,
+            batching: false,
         };
         let idx = (node - FIRST_SESSION_NODE) as usize;
         debug_assert_eq!(idx, self.sessions.len());
@@ -417,9 +442,54 @@ impl HybridShard {
     /// consume a schedule key, enqueue the arrival.
     fn session_send(&mut self, node: u32, sess: &mut Session, now: SimTime, msg: WireMsg) {
         let d = self.peer_latency.sample(&mut sess.rng);
+        self.session_send_at(node, sess, now, d, msg);
+    }
+
+    /// As [`Self::session_send`], with the send latency already drawn
+    /// (the gap-batched path pre-draws it alongside the GUID).
+    fn session_send_at(
+        &mut self,
+        node: u32,
+        sess: &mut Session,
+        now: SimTime,
+        d: SimDuration,
+        msg: WireMsg,
+    ) {
         let key = sess.next_key;
         sess.next_key += 1;
         self.push(now + d, node, key, Body::MsgArrive(node, msg));
+    }
+
+    /// The session's next (GUID, send-latency) pair, in RNG-stream
+    /// order: served from the gap-batched buffer when the session is
+    /// eligible (refilling it in one burst of up to [`RNG_BATCH`] pairs,
+    /// capped by the remaining emission budget), drawn directly
+    /// otherwise — including the probe-pong case where the budget has
+    /// already run dry. Either way the RNG consumes the same calls in
+    /// the same order as per-emission draws.
+    fn next_pair(&mut self, sess: &mut Session) -> (Guid, SimDuration) {
+        if sess.batching {
+            if sess.pair_pos == sess.pair_buf.len() && sess.pair_budget > 0 {
+                let n = sess.pair_budget.min(RNG_BATCH as u64) as usize;
+                sess.pair_buf.clear();
+                sess.pair_pos = 0;
+                sess.pair_buf.reserve(n);
+                for _ in 0..n {
+                    let g = Guid::random(&mut sess.rng);
+                    let d = self.peer_latency.sample(&mut sess.rng);
+                    sess.pair_buf.push((g, d));
+                }
+                self.registry.add(Counter::RngBatchedDraws, n as u64);
+            }
+            if sess.pair_pos < sess.pair_buf.len() {
+                let p = sess.pair_buf[sess.pair_pos];
+                sess.pair_pos += 1;
+                return p;
+            }
+        }
+        let g = Guid::random(&mut sess.rng);
+        let d = self.peer_latency.sample(&mut sess.rng);
+        (g, d)
     }
 
     // ----- collector helpers (lane 0) --------------------------------------
@@ -508,6 +578,21 @@ impl HybridShard {
                         at,
                         &mut sess.rng,
                     ));
+                    // Arm gap batching for free-rider leaves: they are
+                    // never fanout targets (forwarding skips sessions
+                    // sharing no files), their emitter draws nothing,
+                    // and every pre-`End` emission — planned query,
+                    // keepalive, probe pong — consumes exactly one
+                    // (GUID, latency) pair. The pre-`End` emission
+                    // count is a pure function of the plan: every
+                    // retained query fires, plus one keepalive per
+                    // whole interval within the session duration.
+                    let ka_ms = sess.keepalive.as_millis();
+                    if !sess.plan.ultrapeer && sess.plan.shared_files == 0 && ka_ms > 0 {
+                        sess.batching = true;
+                        sess.pair_budget =
+                            sess.plan.queries.len() as u64 + sess.plan.duration.as_millis() / ka_ms;
+                    }
                     self.arm_next(node, &mut sess);
                     self.put_session(node, sess);
                 } else {
@@ -583,7 +668,10 @@ impl HybridShard {
                     return;
                 };
                 self.delivered += 1;
-                let guid = Guid::random(&mut sess.rng);
+                // Probe pongs consume the same (GUID, latency) pair
+                // shape as emissions; they draw from the batch buffer
+                // without touching the emission budget.
+                let (guid, d) = self.next_pair(&mut sess);
                 let msg = WireMsg {
                     guid,
                     hops: 1,
@@ -595,7 +683,7 @@ impl HybridShard {
                     },
                     answer_origin: None,
                 };
-                self.session_send(node, &mut sess, at, msg);
+                self.session_send_at(node, &mut sess, at, d, msg);
                 self.put_session(node, sess);
             }
             Body::IdleCheck(node) => {
@@ -663,7 +751,9 @@ impl HybridShard {
                         pq.sha1.is_some(),
                     )
                 };
-                let guid = Guid::random(&mut sess.rng);
+                debug_assert!(!sess.batching || sess.pair_budget > 0);
+                let (guid, d) = self.next_pair(sess);
+                sess.pair_budget = sess.pair_budget.saturating_sub(1);
                 let msg = WireMsg {
                     guid,
                     hops: 1,
@@ -675,10 +765,12 @@ impl HybridShard {
                     },
                     answer_origin: None,
                 };
-                self.session_send(node, sess, now, msg);
+                self.session_send_at(node, sess, now, d, msg);
             }
             EmissionKind::Keepalive => {
-                let guid = Guid::random(&mut sess.rng);
+                debug_assert!(!sess.batching || sess.pair_budget > 0);
+                let (guid, d) = self.next_pair(sess);
+                sess.pair_budget = sess.pair_budget.saturating_sub(1);
                 let msg = WireMsg {
                     guid,
                     hops: 1,
@@ -687,7 +779,7 @@ impl HybridShard {
                     payload: RecordedPayload::Ping,
                     answer_origin: None,
                 };
-                self.session_send(node, sess, now, msg);
+                self.session_send_at(node, sess, now, d, msg);
             }
             EmissionKind::RelayQuery => {
                 let d = draw_relay_query(&self.vocab, &self.planner.diurnal, now, &mut sess.rng);
@@ -742,6 +834,14 @@ impl HybridShard {
                 self.session_send(node, sess, now, msg);
             }
             EmissionKind::End => {
+                // The budget counted every pre-`End` emission exactly,
+                // so the batch buffer must be dry before `End` draws
+                // directly from the session RNG.
+                debug_assert!(
+                    !sess.batching
+                        || (sess.pair_budget == 0 && sess.pair_pos == sess.pair_buf.len()),
+                    "gap-batch buffer not drained at session end"
+                );
                 if !sess.plan.vanish {
                     if sess.plan.send_bye {
                         let guid = Guid::random(&mut sess.rng);

@@ -71,6 +71,48 @@ fn campaign_counters_match_ground_truth() {
     assert_eq!(batches, t.counter(Counter::SinkBatches));
 }
 
+/// Fixed-seed smoke-campaign regression: the event queue's pop order
+/// fully determines the observed trace, so pinning the event count plus
+/// an order-sensitive digest of the message stream catches any queue
+/// change that silently reorders equal-time or cross-level pops. Re-pin
+/// only after the simnet model-check property passes.
+#[test]
+fn smoke_campaign_events_and_order_pinned() {
+    let cfg = PopulationConfig::smoke();
+    let (trace, stats) = run_population_with_stats(&cfg);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fnv = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for m in trace.messages.iter() {
+        fnv(m.session.0);
+        fnv(m.at.as_millis());
+    }
+    assert_eq!(
+        (
+            stats.events_popped,
+            trace.connections.len() as u64,
+            trace.messages.len() as u64,
+            h,
+        ),
+        (
+            PINNED_EVENTS_POPPED,
+            PINNED_CONNECTIONS,
+            PINNED_MESSAGES,
+            PINNED_MESSAGE_DIGEST,
+        ),
+        "smoke-campaign event count or observed message order changed"
+    );
+}
+
+const PINNED_EVENTS_POPPED: u64 = 255_372;
+const PINNED_CONNECTIONS: u64 = 504;
+const PINNED_MESSAGES: u64 = 62_714;
+const PINNED_MESSAGE_DIGEST: u64 = 15_634_722_281_550_164_242;
+
 #[test]
 fn full_and_hybrid_sink_counters_agree() {
     let mut cfg = PopulationConfig::smoke();

@@ -526,10 +526,15 @@ fn time_one(
     let tree = stage_tree(&stages);
     let coverage = telemetry::profile::root_child_coverage(&tree, "campaign");
     if !tree.is_empty() {
+        let frac =
+            |v: Option<f64>| v.map_or_else(|| "n/a".to_string(), |f| format!("{:.2} %", f * 100.0));
         telemetry::info!(
-            "[perf]   stage attribution over {reps} rep(s), campaign child coverage {}:\n{}",
+            "[perf]   stage attribution over {reps} rep(s), campaign child coverage {}:\n{}\n  \
+             event queue: heap_spill_frac {}, cascade_frac {}",
             coverage.map_or_else(|| "n/a".to_string(), |c| format!("{:.0} %", c * 100.0)),
-            bench_support::render::stage_table(&tree).trim_end_matches('\n')
+            bench_support::render::stage_table(&tree).trim_end_matches('\n'),
+            frac(last_telemetry.heap_spill_frac()),
+            frac(last_telemetry.cascade_frac()),
         );
     }
     let run_telemetry = telemetry_to_json(&last_telemetry, &tree, scope_count, coverage);
@@ -633,6 +638,15 @@ fn telemetry_to_json(
         "decode_cache_hit_rate".to_string(),
         snap.decode_cache_hit_rate()
             .map_or(JsonValue::Null, JsonValue::F64),
+    ));
+    entries.push((
+        "heap_spill_frac".to_string(),
+        snap.heap_spill_frac()
+            .map_or(JsonValue::Null, JsonValue::F64),
+    ));
+    entries.push((
+        "cascade_frac".to_string(),
+        snap.cascade_frac().map_or(JsonValue::Null, JsonValue::F64),
     ));
     JsonValue::Object(entries)
 }
@@ -1049,6 +1063,40 @@ fn main() {
     }
     if !self_check_passed {
         telemetry::warn!("[perf] telemetry self-check failed (see telemetry.json)");
+        std::process::exit(1);
+    }
+    // Event-queue health gate: the hierarchical wheel should absorb
+    // virtually every timer at smoke scale — a spill fraction above 5 %
+    // means the far heap is back on the hot path (the exact round-trip
+    // this queue exists to kill), so fail loudly like the fidelity gate.
+    let mut spill_gate_failures = 0;
+    for r in &report.runs {
+        if r.scale != "smoke" {
+            continue;
+        }
+        let frac = r
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.get("heap_spill_frac"))
+            .and_then(|v| match v {
+                JsonValue::F64(f) => Some(*f),
+                _ => None,
+            });
+        if let Some(f) = frac {
+            if f > 0.05 {
+                spill_gate_failures += 1;
+                telemetry::warn!(
+                    "[perf] smoke {}/{}/{} shards: heap_spill_frac {:.2} % exceeds 5 % gate",
+                    r.mode,
+                    r.fidelity,
+                    r.shards,
+                    f * 100.0
+                );
+            }
+        }
+    }
+    if spill_gate_failures > 0 {
+        telemetry::warn!("[perf] {spill_gate_failures} smoke run(s) over the heap-spill gate");
         std::process::exit(1);
     }
 

@@ -80,13 +80,18 @@ pub struct SimStats {
     /// High-water mark of pending events — the queue pressure a run
     /// actually exerted (informs heap pre-sizing).
     pub peak_queue_len: u64,
-    /// Pushes that overflowed the timing wheel's 512 ms window into the
-    /// 4-ary far heap (telemetry: wheel pops vs heap spills).
+    /// Pushes that overflowed every hierarchical-wheel level (≳ 37
+    /// hours out) into the 4-ary far heap (telemetry: wheel pops vs
+    /// heap spills).
     #[serde(default)]
     pub heap_spills: u64,
     /// Far-heap events migrated into wheel buckets as time advanced.
     #[serde(default)]
     pub heap_migrations: u64,
+    /// Hierarchical-wheel level-down moves (L2→L1/L0, L1→L0) as time
+    /// entered an event's chunk or frame.
+    #[serde(default)]
+    pub wheel_cascades: u64,
 }
 
 /// The simulation driver.
@@ -253,6 +258,7 @@ impl<M: 'static> Simulator<M> {
             peak_queue_len: self.queue.peak_len() as u64,
             heap_spills: self.queue.far_pushed(),
             heap_migrations: self.queue.migrated(),
+            wheel_cascades: self.queue.cascades(),
             ..self.stats
         }
     }
@@ -352,50 +358,60 @@ impl<M: 'static> Simulator<M> {
         }
     }
 
+    /// Dispatch one popped event. Returns `false` only for a timer that
+    /// was cancelled before firing (nothing ran, the clock stays put).
+    fn dispatch_event(&mut self, at: SimTime, seq: u64, ev: Event<M>) -> bool {
+        debug_assert!(at >= self.now, "time went backwards");
+        match ev {
+            Event::Timer { node, tag } => {
+                // The emptiness check keeps workloads that never cancel
+                // (the common case) from paying a guaranteed-miss hash
+                // lookup on every timer pop.
+                if !self.cancelled.is_empty() && self.cancelled.remove(&seq) {
+                    return false; // cancelled before firing
+                }
+                self.now = at;
+                if self.nodes.get(node.0 as usize).map(|s| s.is_some()) == Some(true) {
+                    self.stats.timers_fired += 1;
+                    self.dispatch_with(node, |actor, ctx| actor.on_timer(ctx, tag));
+                }
+                true
+            }
+            Event::Deliver { from, to, msg } => {
+                self.now = at;
+                if self.nodes.get(to.0 as usize).map(|s| s.is_some()) == Some(true) {
+                    self.stats.delivered += 1;
+                    self.dispatch_with(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                } else {
+                    self.stats.dropped += 1;
+                }
+                true
+            }
+        }
+    }
+
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         loop {
             let Some((at, seq, ev)) = self.queue.pop() else {
                 return false;
             };
-            debug_assert!(at >= self.now, "time went backwards");
-            match ev {
-                Event::Timer { node, tag } => {
-                    // The emptiness check keeps workloads that never cancel
-                    // (the common case) from paying a guaranteed-miss hash
-                    // lookup on every timer pop.
-                    if !self.cancelled.is_empty() && self.cancelled.remove(&seq) {
-                        continue; // cancelled before firing
-                    }
-                    self.now = at;
-                    if self.nodes.get(node.0 as usize).map(|s| s.is_some()) == Some(true) {
-                        self.stats.timers_fired += 1;
-                        self.dispatch_with(node, |actor, ctx| actor.on_timer(ctx, tag));
-                    }
-                    return true;
-                }
-                Event::Deliver { from, to, msg } => {
-                    self.now = at;
-                    if self.nodes.get(to.0 as usize).map(|s| s.is_some()) == Some(true) {
-                        self.stats.delivered += 1;
-                        self.dispatch_with(to, |actor, ctx| actor.on_message(ctx, from, msg));
-                    } else {
-                        self.stats.dropped += 1;
-                    }
-                    return true;
-                }
+            if self.dispatch_event(at, seq, ev) {
+                return true;
             }
         }
     }
 
     /// Run until the queue drains or the clock passes `until`.
     /// The clock is left at `min(until, last event time)`.
+    ///
+    /// Uses the queue's fused bounded pop: one cursor-bucket scan per
+    /// event instead of the `peek_time` + `pop` pair, which halves the
+    /// queue's scan work on this hot path. Events past `until` are
+    /// never popped, including after a cancelled timer is skipped.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            self.step();
+        while let Some((at, seq, ev)) = self.queue.pop_at_or_before(until) {
+            self.dispatch_event(at, seq, ev);
         }
         if self.now < until {
             self.now = until;

@@ -1,4 +1,5 @@
-//! The event queue: a timing wheel backed by a 4-ary min-heap overflow.
+//! The event queue: a hierarchical timing wheel backed by a 4-ary
+//! min-heap overflow for the truly far future.
 //!
 //! Ordering contract: events pop in ascending `(time, lane, key, seq)`
 //! order. The `(lane, key)` pair is an optional caller-supplied ordering
@@ -7,55 +8,92 @@
 //! timestamps — the property that makes runs reproducible regardless of
 //! queue internals.
 //!
-//! # Why a wheel
+//! # Why a hierarchy of wheels
 //!
-//! Campaign workloads schedule two very different kinds of events:
-//! message deliveries a few tens of milliseconds out, and behavioral
-//! timers seconds to hours out. A single heap is the worst structure for
-//! that mix: the pending set is dominated by far-future timers, so a
-//! near-future delivery sifts past almost all of them to reach the root —
-//! every push and pop pays the full heap depth.
+//! Campaign workloads schedule three very different kinds of events:
+//! message deliveries a few tens of milliseconds out, behavioral timers
+//! seconds to minutes out (think times, keepalives, probes), and
+//! hour-scale timers (arrival batches, session ends, diurnal phases).
+//! A single heap is the worst structure for that mix: the pending set is
+//! dominated by far-future timers, so a near-future delivery sifts past
+//! almost all of them to reach the root. A single flat wheel is barely
+//! better — anything beyond its window spills to the heap and later
+//! migrates back, two extra ordered-structure operations that previously
+//! hit ~a third of all popped events.
 //!
 //! [`SimTime`] has millisecond resolution, so the near future is
-//! discretized exactly: a ring of [`WHEEL_SLOTS`] buckets, one per
-//! millisecond, covers the window `[start, start + WHEEL_SLOTS)`.
-//! A bucket holds events for a single timestamp, so within a bucket
-//! FIFO order *is* sequence order and push/pop are O(1) appends and
-//! front-removals. Events beyond the window go to a 4-ary min-heap
-//! (half the depth of a binary heap; payloads stay inline because the
-//! heap — now holding only far timers — fits in cache, where moving
-//! whole entries beats an out-of-line slab's dependent load, as
-//! measured on the population campaign).
+//! discretized exactly. Three levels of [`WHEEL_SLOTS`] buckets each
+//! cover geometrically wider horizons:
 //!
-//! As simulated time advances, far events whose timestamps enter the
-//! window migrate into their buckets *before* any later push can target
-//! those buckets; since the heap yields them in `(time, seq)` order and
-//! later direct pushes always carry larger sequence numbers, bucket
-//! append order equals sequence order on both paths.
+//! - **L0**: 1 ms per bucket — the window `[start, start + 512 ms)`.
+//! - **L1**: one 512 ms *frame* per bucket — out to ~4.4 minutes.
+//! - **L2**: one 512-frame (≈4.4 min) *chunk* per bucket — out to
+//!   ~37 hours.
+//!
+//! Events beyond the L2 horizon wait in a 4-ary overflow min-heap
+//! (`far`), which now holds only multi-day timers. An event is inserted
+//! at the lowest level whose window covers it, sits there until
+//! simulated time enters its frame/chunk, then *cascades* one level
+//! down — at most two cheap moves over its whole lifetime, replacing
+//! the old heap-spill + sift + migrate round-trip.
+//!
+//! Bucket indices are time-aligned: level-`k` slot `i` holds the spans
+//! whose index (`ms`, `ms / 512`, or `ms / 512²`) is congruent to `i`
+//! modulo 512. Each level's admission window spans at most 512
+//! consecutive spans, so a slot never mixes two spans. Per-level
+//! occupancy bitmaps (8 × `u64` per level) let [`EventQueue::pop`] jump
+//! straight to the next pending instant instead of stepping empty
+//! buckets one millisecond at a time; advancement always targets the
+//! global minimum pending timestamp, so only the entered frame's and
+//! chunk's buckets ever need cascading.
+//!
+//! Bucket contents are unordered: the pop side takes the full-key
+//! minimum of the current bucket (buckets hold a handful of events, so
+//! the scan is a few comparisons), which makes append order — direct
+//! push, cascade, or far-heap migration — irrelevant to pop order. That
+//! is what keeps the pop sequence bit-identical to a reference sort on
+//! `(time, lane, key, seq)` no matter which path an event took.
 //!
 //! The engine only schedules at or after the current instant, but the
 //! queue still accepts pushes "in the past" (before the last popped
-//! event); they land in the cursor bucket, which is the one bucket
-//! popped by a `(time, seq)` scan instead of front-removal. Buckets
-//! hold a handful of events, so the scan is a few comparisons.
+//! event); they land in the cursor bucket, whose min-scan handles the
+//! mixed timestamps.
 
 use crate::time::SimTime;
 
 const ARITY: usize = 4;
 
-/// Number of 1 ms buckets in the wheel; events further out than this
-/// wait in the overflow heap. Sized so typical link latencies (tens of
-/// milliseconds) land deep inside the window.
+/// Number of buckets per wheel level; each level's window covers
+/// `WHEEL_SLOTS` spans of geometrically increasing width. Sized so
+/// typical link latencies (tens of milliseconds) land deep inside the
+/// innermost window.
 const WHEEL_SLOTS: usize = 512;
+
+/// Millisecond span of one L1 bucket (one *frame*).
+const FRAME_MS: u64 = WHEEL_SLOTS as u64;
+
+/// Millisecond span of one L2 bucket (one *chunk*): 512 frames,
+/// ≈ 4.4 minutes; the full L2 window covers ≈ 37 hours.
+const CHUNK_MS: u64 = FRAME_MS * WHEEL_SLOTS as u64;
+
+/// Occupancy bitmap: one bit per bucket of a 512-slot wheel level.
+type Occupancy = [u64; WHEEL_SLOTS / 64];
 
 /// Lane assigned to events scheduled without an explicit ordering key
 /// ([`EventQueue::push`]): they sort after every keyed event at the same
 /// instant, in FIFO (sequence) order among themselves.
 pub const UNKEYED_LANE: u32 = u32::MAX;
 
-/// A scheduled event.
-#[derive(Debug)]
-struct Scheduled<E> {
+/// The full ordering key of a scheduled event. Derived `Ord` gives the
+/// pop order contract directly: ascending `(at, lane, key, seq)`.
+///
+/// Kept as its own 32-byte `Copy` record so wheel buckets can store
+/// keys densely in one array and payloads in a parallel one: the pop
+/// side's min-scan then walks two keys per cache line instead of
+/// dragging the (much larger) payload through the cache on every
+/// comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
     at: SimTime,
     /// Ordering lane: who scheduled the event. Ties at the same instant
     /// pop in ascending `(lane, key, seq)` order, which lets two
@@ -65,53 +103,181 @@ struct Scheduled<E> {
     /// Per-lane ordering key (a lane-local schedule counter).
     key: u64,
     seq: u64,
+}
+
+/// A scheduled event in the far overflow heap, which sifts whole
+/// elements and therefore keeps key and payload together.
+#[derive(Debug)]
+struct Scheduled<E> {
+    k: EventKey,
     payload: E,
 }
 
 impl<E> Scheduled<E> {
     #[inline]
-    fn key(&self) -> (SimTime, u32, u64, u64) {
-        (self.at, self.lane, self.key, self.seq)
+    fn key(&self) -> EventKey {
+        self.k
     }
 }
 
+/// One wheel bucket: ordering keys and payloads in parallel arrays
+/// (structure-of-arrays). `swap_remove` keeps the arrays in lockstep.
+#[derive(Debug)]
+struct Bucket<E> {
+    keys: Vec<EventKey>,
+    payloads: Vec<E>,
+}
+
+impl<E> Default for Bucket<E> {
+    fn default() -> Self {
+        Bucket {
+            keys: Vec::new(),
+            payloads: Vec::new(),
+        }
+    }
+}
+
+impl<E> Bucket<E> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    #[inline]
+    fn push(&mut self, k: EventKey, payload: E) {
+        self.keys.push(k);
+        self.payloads.push(payload);
+    }
+
+    #[inline]
+    fn swap_remove(&mut self, i: usize) -> (EventKey, E) {
+        (self.keys.swap_remove(i), self.payloads.swap_remove(i))
+    }
+
+    /// Index of the full-key minimum. The bucket must be non-empty.
+    #[inline]
+    fn min_index(&self) -> usize {
+        let mut min = 0;
+        for i in 1..self.keys.len() {
+            if self.keys[i] < self.keys[min] {
+                min = i;
+            }
+        }
+        min
+    }
+
+    /// Earliest timestamp in the bucket, in milliseconds.
+    #[inline]
+    fn min_at_ms(&self) -> Option<u64> {
+        self.keys.iter().map(|k| k.at.as_millis()).min()
+    }
+}
+
+#[inline]
+fn bit_set(occ: &mut Occupancy, idx: usize) {
+    occ[idx / 64] |= 1u64 << (idx % 64);
+}
+
+#[inline]
+fn bit_clear(occ: &mut Occupancy, idx: usize) {
+    occ[idx / 64] &= !(1u64 << (idx % 64));
+}
+
+/// First occupied slot at or after `from`, scanning circularly through
+/// all 512 slots; returns the absolute slot index.
+fn next_occupied(occ: &Occupancy, from: usize) -> Option<usize> {
+    let w0 = from / 64;
+    let b0 = from % 64;
+    let first = occ[w0] & (!0u64 << b0);
+    if first != 0 {
+        return Some(w0 * 64 + first.trailing_zeros() as usize);
+    }
+    for k in 1..=occ.len() {
+        let wi = (w0 + k) % occ.len();
+        let w = if k == occ.len() {
+            // Wrapped back to the first word: only the bits below `from`.
+            occ[wi] & (1u64 << b0).wrapping_sub(1)
+        } else {
+            occ[wi]
+        };
+        if w != 0 {
+            return Some(wi * 64 + w.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
 /// Min-queue of scheduled events with stable FIFO ordering at equal
-/// timestamps. See the module docs for the wheel + overflow-heap design.
+/// timestamps. See the module docs for the hierarchical-wheel +
+/// overflow-heap design.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    /// One bucket per millisecond of the near-future window;
-    /// `buckets[cursor]` is the instant `start`.
-    buckets: Box<[Vec<Scheduled<E>>]>,
+    /// L0: one bucket per millisecond of `[start, start + 512)`;
+    /// `l0[cursor]` is the instant `start` (plus any past pushes).
+    l0: Box<[Bucket<E>]>,
+    /// L1: one bucket per 512 ms frame, frames `(start/512, start/512 + 512]`.
+    l1: Box<[Bucket<E>]>,
+    /// L2: one bucket per ≈4.4 min chunk, chunks `(start/512², start/512² + 512]`.
+    l2: Box<[Bucket<E>]>,
+    occ0: Occupancy,
+    occ1: Occupancy,
+    occ2: Occupancy,
     cursor: usize,
     /// Absolute millisecond the cursor bucket represents.
     start: u64,
-    /// Events currently in buckets (the rest are in `far`).
-    wheel_len: usize,
-    /// Overflow 4-ary min-heap for events at or beyond
-    /// `start + WHEEL_SLOTS`.
+    /// Exclusive upper bounds of each level's admission window,
+    /// refreshed whenever `start` advances: `start + 512`,
+    /// `(start/512 + 513) · 512`, `(start/512² + 513) · 512²`.
+    l0_limit: u64,
+    l1_limit: u64,
+    l2_limit: u64,
+    l0_len: usize,
+    l1_len: usize,
+    l2_len: usize,
+    /// Overflow 4-ary min-heap for events at or beyond the L2 horizon
+    /// (≳ 37 hours out).
     far: Vec<Scheduled<E>>,
     next_seq: u64,
     popped: u64,
     peak_len: usize,
-    /// Pushes that overflowed the wheel window into the far heap.
+    /// Pushes that overflowed every wheel window into the far heap.
     far_pushed: u64,
-    /// Far events migrated back into wheel buckets.
+    /// Far events migrated into wheel buckets.
     migrated: u64,
+    /// Level-down moves (L2→L1/L0, L1→L0) as time entered an event's
+    /// chunk or frame. An event cascading twice counts twice.
+    cascades: u64,
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue {
-            buckets: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            l0: (0..WHEEL_SLOTS).map(|_| Bucket::default()).collect(),
+            l1: (0..WHEEL_SLOTS).map(|_| Bucket::default()).collect(),
+            l2: (0..WHEEL_SLOTS).map(|_| Bucket::default()).collect(),
+            occ0: [0; WHEEL_SLOTS / 64],
+            occ1: [0; WHEEL_SLOTS / 64],
+            occ2: [0; WHEEL_SLOTS / 64],
             cursor: 0,
             start: 0,
-            wheel_len: 0,
+            l0_limit: WHEEL_SLOTS as u64,
+            l1_limit: (WHEEL_SLOTS as u64 + 1) * FRAME_MS,
+            l2_limit: (WHEEL_SLOTS as u64 + 1) * CHUNK_MS,
+            l0_len: 0,
+            l1_len: 0,
+            l2_len: 0,
             far: Vec::new(),
             next_seq: 0,
             popped: 0,
             peak_len: 0,
             far_pushed: 0,
             migrated: 0,
+            cascades: 0,
         }
     }
 }
@@ -126,8 +292,8 @@ impl<E> EventQueue<E> {
     /// drivers that can estimate peak event pressure up front (same
     /// reasoning as trace-vector pre-reservation: reallocation in the
     /// push hot path is what this avoids). The reservation goes to the
-    /// overflow heap, where long-lived timers — the bulk of the steady
-    /// pending set — live.
+    /// overflow heap, the one level whose steady size tracks workload
+    /// scale rather than bucket fan-out.
     pub fn with_capacity(n: usize) -> Self {
         EventQueue {
             far: Vec::with_capacity(n),
@@ -154,108 +320,219 @@ impl<E> EventQueue<E> {
     pub fn push_keyed(&mut self, at: SimTime, lane: u32, key: u64, payload: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let s = Scheduled {
-            at,
-            lane,
-            key,
-            seq,
-            payload,
-        };
-        let ms = at.as_millis();
-        if ms < self.start + WHEEL_SLOTS as u64 {
+        self.place(EventKey { at, lane, key, seq }, payload);
+        self.peak_len = self.peak_len.max(self.len());
+        seq
+    }
+
+    /// Insert at the lowest level whose admission window covers the
+    /// event. Also the landing spot for cascades and far migrations:
+    /// both run after the window limits advance, so a replaced event
+    /// always strictly descends.
+    fn place(&mut self, k: EventKey, payload: E) {
+        let ms = k.at.as_millis();
+        if ms < self.l0_limit {
             // `ms <= start` covers pushes at or before the cursor
             // instant; both belong in the cursor bucket.
             let idx = if ms <= self.start {
                 self.cursor
             } else {
-                (self.cursor + (ms - self.start) as usize) % WHEEL_SLOTS
+                (ms % WHEEL_SLOTS as u64) as usize
             };
-            self.buckets[idx].push(s);
-            self.wheel_len += 1;
+            self.l0[idx].push(k, payload);
+            bit_set(&mut self.occ0, idx);
+            self.l0_len += 1;
+        } else if ms < self.l1_limit {
+            let idx = ((ms / FRAME_MS) % WHEEL_SLOTS as u64) as usize;
+            self.l1[idx].push(k, payload);
+            bit_set(&mut self.occ1, idx);
+            self.l1_len += 1;
+        } else if ms < self.l2_limit {
+            let idx = ((ms / CHUNK_MS) % WHEEL_SLOTS as u64) as usize;
+            self.l2[idx].push(k, payload);
+            bit_set(&mut self.occ2, idx);
+            self.l2_len += 1;
         } else {
-            heap_push(&mut self.far, s);
+            heap_push(&mut self.far, Scheduled { k, payload });
             self.far_pushed += 1;
         }
-        self.peak_len = self.peak_len.max(self.len());
-        seq
     }
 
     /// Pop the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
-        if self.wheel_len == 0 && self.far.is_empty() {
-            return None;
-        }
-        loop {
-            let bucket = &mut self.buckets[self.cursor];
-            if !bucket.is_empty() {
-                // Buckets are unordered with respect to `(lane, key)`
-                // (and the cursor bucket can also mix timestamps);
-                // take the full-key minimum. Buckets hold a handful of
-                // events, so this is a short scan — and in the common
-                // case the minimum is the front, so `remove` shifts
-                // nothing it keeps out of order.
-                let mut min = 0;
-                for i in 1..bucket.len() {
-                    if bucket[i].key() < bucket[min].key() {
-                        min = i;
-                    }
-                }
-                let s = bucket.remove(min);
-                self.wheel_len -= 1;
-                self.popped += 1;
-                return Some((s.at, s.seq, s.payload));
-            }
-            if self.wheel_len == 0 {
-                // Wheel drained: jump straight to the earliest far
-                // event (it is at or beyond the window edge by the far
-                // invariant) and re-anchor the window there.
-                self.start = self.far[0].at.as_millis();
-            } else {
-                self.start += 1;
-                self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
-            }
-            self.migrate();
-        }
+        self.pop_at_or_before(SimTime::from_millis(u64::MAX))
     }
 
-    /// Move far events whose timestamps entered the window into their
-    /// buckets. Bucket contents are unordered (the pop-side min-scan
-    /// restores `(lane, key, seq)` order), so migration just appends.
-    fn migrate(&mut self) {
-        let edge = self.start + WHEEL_SLOTS as u64;
-        while let Some(top) = self.far.first() {
-            let ms = top.at.as_millis();
-            if ms >= edge {
-                break;
+    /// Pop the earliest event if its time is at or before `limit`;
+    /// leave the queue untouched otherwise. This fuses `peek_time` +
+    /// `pop` so a bounded event loop pays one cursor-bucket scan per
+    /// event instead of two (and one occupancy-bitmap walk instead of
+    /// two on every empty-cursor transition).
+    pub fn pop_at_or_before(&mut self, limit: SimTime) -> Option<(SimTime, u64, E)> {
+        if self.is_empty() {
+            return None;
+        }
+        if self.l0[self.cursor].is_empty() {
+            let t = self.next_event_ms();
+            if t > limit.as_millis() {
+                return None;
             }
-            let s = heap_pop(&mut self.far);
-            let idx = (self.cursor + (ms - self.start) as usize) % WHEEL_SLOTS;
-            self.buckets[idx].push(s);
-            self.wheel_len += 1;
-            self.migrated += 1;
+            self.advance_to(t);
+        }
+        let bucket = &mut self.l0[self.cursor];
+        debug_assert!(!bucket.is_empty(), "advance landed on an empty bucket");
+        // Buckets are unordered with respect to `(lane, key)` (and the
+        // cursor bucket can also mix timestamps); take the full-key
+        // minimum. Every pop re-scans for that minimum and the full key
+        // is a strict total order (`seq` is unique), so storage order
+        // within the bucket carries no information — `swap_remove` is
+        // safe and keeps delivery bursts that share a millisecond from
+        // paying a shifting `remove` per pop. The scan touches only the
+        // dense key array; the payload moves once, on the removal.
+        let min = bucket.min_index();
+        if bucket.keys[min].at > limit {
+            return None;
+        }
+        let (k, payload) = bucket.swap_remove(min);
+        if bucket.is_empty() {
+            bit_clear(&mut self.occ0, self.cursor);
+        }
+        self.l0_len -= 1;
+        self.popped += 1;
+        Some((k.at, k.seq, payload))
+    }
+
+    /// Earliest pending timestamp in milliseconds. Requires at least one
+    /// pending event and an empty cursor bucket.
+    ///
+    /// Levels bound each other from below — every L1 event sits in a
+    /// frame after the current one, every L2 event in a later chunk, and
+    /// far events beyond the L2 horizon — so each level is consulted
+    /// only when its lower bound could still beat the running minimum.
+    fn next_event_ms(&self) -> u64 {
+        let mut best = u64::MAX;
+        if self.l0_len > 0 {
+            let from = (self.cursor + 1) % WHEEL_SLOTS;
+            if let Some(pos) = next_occupied(&self.occ0, from) {
+                let steps = (pos + WHEEL_SLOTS - from) % WHEEL_SLOTS;
+                best = self.start + 1 + steps as u64;
+            }
+        }
+        if self.l1_len > 0 {
+            let frame0 = self.start / FRAME_MS + 1;
+            if frame0.saturating_mul(FRAME_MS) < best {
+                let from = (frame0 % WHEEL_SLOTS as u64) as usize;
+                let pos = next_occupied(&self.occ1, from).expect("l1_len > 0");
+                let steps = (pos + WHEEL_SLOTS - from) % WHEEL_SLOTS;
+                let frame = frame0 + steps as u64;
+                if frame.saturating_mul(FRAME_MS) < best {
+                    // Frames are disjoint ascending spans, so the first
+                    // occupied frame contains the level's minimum.
+                    let lo = self.l1[pos].min_at_ms();
+                    best = best.min(lo.expect("occupied L1 bucket"));
+                }
+            }
+        }
+        if self.l2_len > 0 {
+            let chunk0 = self.start / CHUNK_MS + 1;
+            if chunk0.saturating_mul(CHUNK_MS) < best {
+                let from = (chunk0 % WHEEL_SLOTS as u64) as usize;
+                let pos = next_occupied(&self.occ2, from).expect("l2_len > 0");
+                let steps = (pos + WHEEL_SLOTS - from) % WHEEL_SLOTS;
+                let chunk = chunk0 + steps as u64;
+                if chunk.saturating_mul(CHUNK_MS) < best {
+                    let lo = self.l2[pos].min_at_ms();
+                    best = best.min(lo.expect("occupied L2 bucket"));
+                }
+            }
+        }
+        if let Some(top) = self.far.first() {
+            best = best.min(top.k.at.as_millis());
+        }
+        debug_assert!(best != u64::MAX, "next_event_ms on an empty queue");
+        best
+    }
+
+    /// Advance the wheel to `t`, the globally earliest pending
+    /// timestamp, cascading the newly entered chunk and frame down a
+    /// level and migrating far events that came inside the L2 horizon.
+    ///
+    /// Because `t` is the global minimum, no pending event lives in any
+    /// frame or chunk that the jump skips over — only the entered ones
+    /// can be occupied, so a single bucket per level needs draining.
+    fn advance_to(&mut self, t: u64) {
+        debug_assert!(t > self.start, "advance must move forward");
+        let old_frame = self.start / FRAME_MS;
+        let old_chunk = self.start / CHUNK_MS;
+        let new_frame = t / FRAME_MS;
+        let new_chunk = t / CHUNK_MS;
+        self.start = t;
+        self.cursor = (t % WHEEL_SLOTS as u64) as usize;
+        self.l0_limit = t + WHEEL_SLOTS as u64;
+        self.l1_limit = (new_frame + WHEEL_SLOTS as u64 + 1).saturating_mul(FRAME_MS);
+        self.l2_limit = (new_chunk + WHEEL_SLOTS as u64 + 1).saturating_mul(CHUNK_MS);
+        if new_chunk != old_chunk {
+            // Far events now inside the L2 horizon enter the wheel once
+            // and never return to the heap (their timestamps sit below
+            // every freshly raised window limit).
+            while self
+                .far
+                .first()
+                .is_some_and(|s| s.k.at.as_millis() < self.l2_limit)
+            {
+                let s = heap_pop(&mut self.far);
+                self.migrated += 1;
+                self.place(s.k, s.payload);
+            }
+            let b = (new_chunk % WHEEL_SLOTS as u64) as usize;
+            if !self.l2[b].is_empty() {
+                let mut drained = std::mem::take(&mut self.l2[b]);
+                bit_clear(&mut self.occ2, b);
+                self.l2_len -= drained.len();
+                self.cascades += drained.len() as u64;
+                for (k, payload) in drained.keys.drain(..).zip(drained.payloads.drain(..)) {
+                    self.place(k, payload);
+                }
+                if self.l2[b].is_empty() {
+                    // Hand the allocations back to the slot.
+                    self.l2[b] = drained;
+                }
+            }
+        }
+        if new_frame != old_frame {
+            let b = (new_frame % WHEEL_SLOTS as u64) as usize;
+            if !self.l1[b].is_empty() {
+                let mut drained = std::mem::take(&mut self.l1[b]);
+                bit_clear(&mut self.occ1, b);
+                self.l1_len -= drained.len();
+                self.cascades += drained.len() as u64;
+                for (k, payload) in drained.keys.drain(..).zip(drained.payloads.drain(..)) {
+                    self.place(k, payload);
+                }
+                if self.l1[b].is_empty() {
+                    self.l1[b] = drained;
+                }
+            }
         }
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        if self.wheel_len > 0 {
-            for k in 0..WHEEL_SLOTS {
-                let bucket = &self.buckets[(self.cursor + k) % WHEEL_SLOTS];
-                if !bucket.is_empty() {
-                    // Non-cursor buckets hold a single timestamp; the
-                    // cursor bucket may also hold earlier ones.
-                    let at = bucket.iter().map(|s| s.at).min().expect("non-empty");
-                    return Some(at);
-                }
-            }
-            unreachable!("wheel_len > 0 but no occupied bucket");
+        if self.is_empty() {
+            return None;
         }
-        self.far.first().map(|s| s.at)
+        let bucket = &self.l0[self.cursor];
+        if !bucket.is_empty() {
+            // The cursor bucket may mix timestamps (past pushes); its
+            // minimum is at or before `start`, hence globally earliest.
+            return bucket.min_at_ms().map(SimTime::from_millis);
+        }
+        Some(SimTime::from_millis(self.next_event_ms()))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.wheel_len + self.far.len()
+        self.l0_len + self.l1_len + self.l2_len + self.far.len()
     }
 
     /// True if no events are pending.
@@ -273,8 +550,8 @@ impl<E> EventQueue<E> {
         self.peak_len
     }
 
-    /// Pushes that landed in the overflow heap (beyond the wheel
-    /// window) over the queue's lifetime.
+    /// Pushes that landed in the overflow heap (beyond every wheel
+    /// level's window, ≳ 37 hours out) over the queue's lifetime.
     pub fn far_pushed(&self) -> u64 {
         self.far_pushed
     }
@@ -282,6 +559,12 @@ impl<E> EventQueue<E> {
     /// Far events migrated into wheel buckets as the window advanced.
     pub fn migrated(&self) -> u64 {
         self.migrated
+    }
+
+    /// Level-down cascade moves (L2→L1/L0, L1→L0) over the queue's
+    /// lifetime; an event entering at L2 and leaving via L0 counts two.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
     }
 }
 
@@ -403,29 +686,47 @@ mod tests {
         assert_eq!(q.peak_len(), 8);
     }
 
-    /// A far event and a direct push landing on the same instant must
-    /// pop in sequence order even though they took different paths
-    /// (overflow heap + migration vs. straight to a bucket).
+    /// An out-of-window event and a direct push landing on the same
+    /// instant must pop in sequence order even though they took
+    /// different paths (coarse level + cascade vs. straight to an L0
+    /// bucket).
     #[test]
-    fn migration_preserves_fifo_across_paths() {
+    fn cascade_preserves_fifo_across_paths() {
         let mut q = EventQueue::new();
-        let t = SimTime::from_millis(10_000); // far beyond the window
-        q.push(t, "heap-path"); // seq 0
+        let t = SimTime::from_millis(10_000); // beyond the L0 window
+        q.push(t, "coarse-path"); // seq 0
         q.push(SimTime::from_millis(1), "near"); // seq 1
         assert_eq!(q.pop().unwrap().2, "near");
-        // The window has advanced to 1 ms; t is still beyond it. Pops
-        // drain nothing until the jump re-anchors the window at t,
-        // migrating the far event — then a direct push at t must queue
-        // *behind* it.
+        // The window has advanced to 1 ms; t is still beyond it. The
+        // next pop jumps straight to t, cascading the coarse event into
+        // its L0 bucket — a direct push at t must queue *behind* it.
         q.push(t, "direct-path"); // seq 2
-        assert_eq!(q.pop().unwrap(), (t, 0, "heap-path"));
+        assert_eq!(q.pop().unwrap(), (t, 0, "coarse-path"));
         assert_eq!(q.pop().unwrap(), (t, 2, "direct-path"));
         assert!(q.pop().is_none());
     }
 
-    /// The wheel + overflow queue must order exactly like a reference
-    /// sort on `(time, insertion sequence)` under heavy interleaved
-    /// churn, with delays spanning both sides of the window edge.
+    /// Same, but spanning the L2 window and the far overflow heap: a
+    /// multi-day timer heap-spills, then migrates down through the
+    /// levels as pops re-anchor the wheel at its chunk.
+    #[test]
+    fn far_heap_preserves_fifo_across_levels() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(40 * 3_600_000); // 40 h: beyond L2
+        q.push(t, "far-path"); // seq 0
+        assert_eq!(q.far_pushed(), 1);
+        q.push(SimTime::from_millis(3), "near"); // seq 1
+        assert_eq!(q.pop().unwrap().2, "near");
+        q.push(t, "direct-path"); // seq 2 — still beyond L2 from 3 ms
+        assert_eq!(q.pop().unwrap(), (t, 0, "far-path"));
+        assert_eq!(q.pop().unwrap(), (t, 2, "direct-path"));
+        assert!(q.pop().is_none());
+        assert_eq!(q.migrated(), 2);
+    }
+
+    /// The hierarchy must order exactly like a reference sort on
+    /// `(time, insertion sequence)` under heavy interleaved churn, with
+    /// delays spanning the L0/L1 boundary.
     #[test]
     fn matches_reference_order_under_churn() {
         let mut rng = StdRng::seed_from_u64(12345);
@@ -493,6 +794,45 @@ mod tests {
         }
     }
 
+    /// As above, but with horizons spanning every level — L0 deliveries,
+    /// L1 think times, L2 hour-scale timers, and multi-day far spills —
+    /// so cascades and heap migrations interleave.
+    #[test]
+    fn matches_reference_order_across_all_levels() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(SimTime, u64, u64)> = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut next_tag = 0u64;
+        for _burst in 0..40 {
+            for _ in 0..rng.gen_range(1..8) {
+                let delay = match rng.gen_range(0..4) {
+                    0 => rng.gen_range(0..512),                   // L0
+                    1 => rng.gen_range(512..262_144),             // L1
+                    2 => rng.gen_range(262_144..134_479_872),     // L2
+                    _ => rng.gen_range(134_479_872..500_000_000), // far
+                };
+                let at = now + crate::time::SimDuration::from_millis(delay);
+                let seq = q.push(at, next_tag);
+                reference.push((at, seq, next_tag));
+                next_tag += 1;
+            }
+            for _ in 0..rng.gen_range(0..5) {
+                if let Some(got) = q.pop() {
+                    now = got.0;
+                    reference.sort();
+                    assert_eq!(got, reference.remove(0));
+                }
+            }
+        }
+        reference.sort();
+        for expect in reference {
+            assert_eq!(q.pop().unwrap(), expect);
+        }
+        assert!(q.far_pushed() > 0, "workload never reached the far heap");
+        assert!(q.cascades() > 0, "workload never cascaded");
+    }
+
     /// Keyed events at the same instant pop in `(lane, key)` order no
     /// matter the push order, and unkeyed events sort after all of them.
     #[test]
@@ -519,18 +859,43 @@ mod tests {
         );
     }
 
-    /// The keyed order survives the overflow heap and migration paths.
+    /// The keyed order survives the coarse levels and cascade paths.
     #[test]
-    fn keyed_events_order_across_heap_and_wheel() {
+    fn keyed_events_order_across_levels() {
         let mut q = EventQueue::new();
-        let t = SimTime::from_millis(60_000); // far beyond the window
+        let t = SimTime::from_millis(60_000); // beyond the L0 window
         q.push_keyed(t, 5, 0, "b");
         q.push_keyed(t, 1, 4, "a");
         q.push(SimTime::from_millis(1), "near");
         assert_eq!(q.pop().unwrap().2, "near");
-        q.push_keyed(t, 0, 2, "direct"); // direct push once re-anchored? still far: heap
+        q.push_keyed(t, 0, 2, "direct"); // still coarse from 1 ms
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
         assert_eq!(order, ["direct", "a", "b"]);
+    }
+
+    /// Bounded pop stops at the limit without disturbing the queue,
+    /// both when the earliest event sits in the cursor bucket (scan
+    /// path) and when reaching it would require advancing the wheel
+    /// (bitmap path).
+    #[test]
+    fn bounded_pop_respects_limit() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(100), "far-ish");
+        q.push(SimTime::from_millis(700_000), "l1");
+        // Earliest event is beyond the limit: nothing pops, nothing moves.
+        assert_eq!(q.pop_at_or_before(SimTime::from_millis(99)), None);
+        assert_eq!(q.len(), 2);
+        // Within the limit: pops normally, with the same seq stream.
+        let (at, _, p) = q.pop_at_or_before(SimTime::from_millis(100)).unwrap();
+        assert_eq!((at, p), (SimTime::from_millis(100), "far-ish"));
+        // The L1 resident needs a wheel advance; the limit check happens
+        // before the advance, so a refused pop leaves the cursor alone.
+        assert_eq!(q.pop_at_or_before(SimTime::from_millis(500_000)), None);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(700_000)));
+        let (at, _, p) = q.pop_at_or_before(SimTime::from_millis(u64::MAX)).unwrap();
+        assert_eq!((at, p), (SimTime::from_millis(700_000), "l1"));
+        assert!(q.is_empty());
+        assert_eq!(q.pop_at_or_before(SimTime::from_millis(u64::MAX)), None);
     }
 
     #[test]

@@ -42,6 +42,15 @@ pub enum Counter {
     SpillBytesWritten,
     /// Spill I/O failures that degraded the store to in-memory chunks.
     SpillDegraded,
+    /// Hierarchical-wheel level-down moves (L2→L1/L0, L1→L0) as
+    /// simulated time entered an event's chunk or frame.
+    WheelCascades,
+    /// RNG draw pairs served from a session's gap-batched buffer
+    /// instead of individual per-emission draws.
+    RngBatchedDraws,
+    /// Record batches appended through the store's columnar fast path
+    /// (one reserve + bounds check per column per batch).
+    SinkFastBatches,
 }
 
 impl Counter {
@@ -59,6 +68,9 @@ impl Counter {
         Counter::DecodeCacheMisses,
         Counter::SpillBytesWritten,
         Counter::SpillDegraded,
+        Counter::WheelCascades,
+        Counter::RngBatchedDraws,
+        Counter::SinkFastBatches,
     ];
 
     /// snake_case name used in `telemetry.json`.
@@ -76,12 +88,15 @@ impl Counter {
             Counter::DecodeCacheMisses => "decode_cache_misses",
             Counter::SpillBytesWritten => "spill_bytes_written",
             Counter::SpillDegraded => "spill_degraded",
+            Counter::WheelCascades => "wheel_cascades",
+            Counter::RngBatchedDraws => "rng_batched_draws",
+            Counter::SinkFastBatches => "sink_fast_batches",
         }
     }
 }
 
 /// Number of [`Counter`] ids.
-pub const NUM_COUNTERS: usize = 12;
+pub const NUM_COUNTERS: usize = 15;
 
 /// High-water marks (max-merged).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -355,6 +370,7 @@ impl Snapshot {
             Counter::DecodeCacheHits,
             Counter::DecodeCacheMisses,
             Counter::SpillDegraded,
+            Counter::SinkFastBatches, // one bump per columnar batch append
         ];
         let mut ops = 0u64;
         // SinkRecords/SpillBytesWritten carry values, not op counts;
@@ -373,11 +389,38 @@ impl Snapshot {
     }
 
     /// Plain (non-atomic) instrumentation increments this snapshot
-    /// implies: the queue's new per-event spill/migration counters.
-    /// (`events_popped` predates telemetry and is not charged.)
+    /// implies: the queue's per-event spill/migration/cascade counters
+    /// plus the session RNG batcher's refill accounting (charged per
+    /// batched draw, a deliberate overcount — refills bump the plain
+    /// counter once per burst). (`events_popped` predates telemetry and
+    /// is not charged.)
     pub fn estimated_plain_ops(&self) -> u64 {
         self.counter(Counter::HeapSpills)
             .saturating_add(self.counter(Counter::HeapMigrations))
+            .saturating_add(self.counter(Counter::WheelCascades))
+            .saturating_add(self.counter(Counter::RngBatchedDraws))
+    }
+
+    /// Fraction of popped events that had to take the far-heap spill
+    /// path (pushed beyond every wheel level). `None` before any pops.
+    pub fn heap_spill_frac(&self) -> Option<f64> {
+        let popped = self.counter(Counter::EventsPopped);
+        if popped == 0 {
+            None
+        } else {
+            Some(self.counter(Counter::HeapSpills) as f64 / popped as f64)
+        }
+    }
+
+    /// Fraction of popped events that were re-placed by an L1/L2 bucket
+    /// cascade on the way down the wheel. `None` before any pops.
+    pub fn cascade_frac(&self) -> Option<f64> {
+        let popped = self.counter(Counter::EventsPopped);
+        if popped == 0 {
+            None
+        } else {
+            Some(self.counter(Counter::WheelCascades) as f64 / popped as f64)
+        }
     }
 
     /// Decode-cache hit rate, if any random-access reads happened.

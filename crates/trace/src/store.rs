@@ -149,6 +149,50 @@ impl FlatColumns {
         self.wire_len.push(wire);
     }
 
+    /// Columnar batch append: one sequential pass fills the per-kind
+    /// side tables plus the data-dependent `kind`/`arg` columns, then
+    /// the six remaining columns extend in bulk — one reserve + bounds
+    /// check per column per batch instead of eight `push` calls per
+    /// record. Produces byte-identical columns to repeated
+    /// [`FlatColumns::push_with_wire`] calls: side-table rows are
+    /// appended in record order, so every `arg` index is unchanged.
+    fn extend_batch(&mut self, records: &[MessageRecord], wire_lens: &[u32]) {
+        debug_assert_eq!(records.len(), wire_lens.len());
+        self.reserve(records.len());
+        for rec in records {
+            let arg = match rec.payload {
+                RecordedPayload::Ping | RecordedPayload::Bye => 0,
+                RecordedPayload::Pong { addr, shared_files } => {
+                    self.pong_addr.push(addr);
+                    self.pong_files.push(shared_files);
+                    (self.pong_addr.len() - 1) as u32
+                }
+                RecordedPayload::Query { text, sha1 } => {
+                    self.query_id.push(text.raw());
+                    self.query_sha1.push(sha1);
+                    (self.query_id.len() - 1) as u32
+                }
+                RecordedPayload::QueryHit { addr, results } => {
+                    self.hit_addr.push(addr);
+                    self.hit_results.push(results);
+                    (self.hit_addr.len() - 1) as u32
+                }
+            };
+            self.kind.push(kind_of(&rec.payload));
+            self.arg.push(arg);
+        }
+        self.session.extend(
+            records
+                .iter()
+                .map(|r| u32::try_from(r.session.0).expect("session id exceeds u32 range")),
+        );
+        self.guid.extend(records.iter().map(|r| r.guid));
+        self.at.extend(records.iter().map(|r| r.at));
+        self.hops.extend(records.iter().map(|r| r.hops));
+        self.ttl.extend(records.iter().map(|r| r.ttl));
+        self.wire_len.extend_from_slice(wire_lens);
+    }
+
     fn get(&self, i: usize) -> MessageRecord {
         let arg = self.arg[i] as usize;
         let payload = match self.kind[i] {
@@ -492,9 +536,30 @@ impl MessageColumns {
     }
 
     /// Append a drained batch (the [`crate::sink::TraceSink`] path).
-    pub fn push_batch(&mut self, records: &[MessageRecord], wire_lens: &[u32]) {
-        for (rec, &w) in records.iter().zip(wire_lens) {
-            self.push_with_wire(*rec, w);
+    ///
+    /// Fast path: the batch is split at chunk-seal boundaries and each
+    /// segment lands in the typed columns via
+    /// [`FlatColumns::extend_batch`] — one reserve + bounds check per
+    /// column per segment instead of eight per-record `push` calls.
+    /// Sealing semantics are identical to the per-record path: the tail
+    /// seals exactly when it reaches `chunk_rows`.
+    pub fn push_batch(&mut self, mut records: &[MessageRecord], mut wire_lens: &[u32]) {
+        debug_assert_eq!(records.len(), wire_lens.len());
+        if records.is_empty() {
+            return;
+        }
+        telemetry::global().incr(Counter::SinkFastBatches);
+        while !records.is_empty() {
+            let room = self.chunk_rows - self.tail.len();
+            let take = room.min(records.len());
+            let (head, rest) = records.split_at(take);
+            let (whead, wrest) = wire_lens.split_at(take);
+            self.tail.extend_batch(head, whead);
+            records = rest;
+            wire_lens = wrest;
+            if self.tail.len() == self.chunk_rows {
+                self.seal_tail();
+            }
         }
     }
 
